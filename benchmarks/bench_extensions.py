@@ -1,0 +1,141 @@
+"""Ablation bench for the paper-motivated extensions.
+
+Quantifies the three mechanisms the paper mentions but does not evaluate:
+
+* **Budget-constrained aggregation** (future work, Section VII): winner
+  count and aggregator utility as the per-round purse shrinks, for the
+  score-order and value-per-cost admission policies.
+* **Blacklist enforcement** (Sections II-A/III-A): rounds until systematic
+  under-deliverers are expelled, under different strike policies.
+* **Per-node psi** (open question, Section VII): top-rank concentration of
+  a decaying psi-of-rank profile vs uniform psi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    AdditiveScore,
+    Bid,
+    Blacklist,
+    BudgetedAuction,
+    DeliveryReport,
+    MultiDimensionalProcurementAuction,
+    PerNodePsiSelection,
+    PsiSelection,
+    audit_round,
+)
+from repro.sim.reporting import ascii_table
+
+from .common import emit, run_once
+
+
+def _equilibrium_bids(solver, rng, n):
+    thetas = solver.model.distribution.sample(rng, n)
+    return [Bid(i, *solver.bid(float(t))) for i, t in enumerate(np.asarray(thetas))]
+
+
+def _run(bench_solver):
+    rng = np.random.default_rng(0)
+    rule = bench_solver.quality_rule
+    k = 20
+
+    # --- budget ablation -------------------------------------------------
+    bids = _equilibrium_bids(bench_solver, rng, 100)
+    base = MultiDimensionalProcurementAuction(rule, k)
+    unconstrained = base.run(list(bids), np.random.default_rng(1))
+    budgets = [0.25, 0.5, 1.0, 2.0]
+    budget_rows = []
+    for frac in budgets:
+        purse = frac * unconstrained.total_payment
+        for mode in ("score_order", "value_per_cost"):
+            out = BudgetedAuction(base, purse, mode=mode).run(
+                list(bids), np.random.default_rng(1)
+            )
+            budget_rows.append(
+                (
+                    f"{frac:.2f}x",
+                    mode,
+                    len(out.winners),
+                    round(out.total_payment, 3),
+                    round(out.aggregator_profit(rule), 3),
+                )
+            )
+    table_budget = ascii_table(
+        ["budget (x unconstrained spend)", "mode", "winners", "spent", "aggregator profit"],
+        budget_rows,
+        title="extension 1: budget-constrained winner selection (N=100, K=20)",
+    )
+
+    # --- blacklist ablation ----------------------------------------------
+    blacklist_rows = []
+    for strikes in (1, 2, 3):
+        bl = Blacklist(strikes_to_ban=strikes, tolerance=0.05)
+        cheaters = set(range(0, 10))  # nodes 0-9 systematically deliver 50%
+        rounds_to_clean = None
+        for round_index in range(1, 31):
+            agents_bids = [
+                b for b in _equilibrium_bids(bench_solver, np.random.default_rng(round_index), 40)
+                if not bl.is_banned(b.node_id)
+            ]
+            out = MultiDimensionalProcurementAuction(rule, 8).run(
+                agents_bids, np.random.default_rng(round_index)
+            )
+            reports = {}
+            for w in out.winners:
+                factor = 0.5 if w.node_id in cheaters else 1.0
+                reports[w.node_id] = DeliveryReport(w.node_id, w.quality * factor)
+            audit_round(out, reports, bl, round_index)
+            if cheaters <= bl.banned and rounds_to_clean is None:
+                rounds_to_clean = round_index
+                break
+        blacklist_rows.append(
+            (strikes, len(bl.banned), rounds_to_clean, len(bl.violations))
+        )
+    table_blacklist = ascii_table(
+        ["strikes to ban", "banned nodes", "rounds to expel all cheaters", "violations filed"],
+        blacklist_rows,
+        title="extension 2: blacklist enforcement (10 under-deliverers of 40)",
+    )
+
+    # --- per-node psi ablation --------------------------------------------
+    policies = {
+        "uniform psi=0.6": PsiSelection(0.6),
+        "decaying 0.95-0.03*rank": PerNodePsiSelection(
+            lambda rank: max(0.95 - 0.03 * rank, 0.1)
+        ),
+        "floor-heavy 0.5 flat + hot top5": PerNodePsiSelection(
+            lambda rank: 0.9 if rank < 5 else 0.5
+        ),
+    }
+    psi_rows = []
+    for name, policy in policies.items():
+        top10 = 0
+        trials = 400
+        for seed in range(trials):
+            chosen = policy.select(40, 8, np.random.default_rng(seed))
+            top10 += sum(1 for pos in chosen if pos < 10)
+        psi_rows.append((name, round(top10 / trials, 2)))
+    table_psi = ascii_table(
+        ["policy", "mean winners from top-10 (of 8 slots)"],
+        psi_rows,
+        title="extension 3: per-node psi profiles (N=40, K=8)",
+    )
+
+    emit("extensions", "\n\n".join([table_budget, table_blacklist, table_psi]))
+    return budget_rows, blacklist_rows, psi_rows
+
+
+def test_extensions(benchmark, bench_solver):
+    budget_rows, blacklist_rows, psi_rows = run_once(benchmark, lambda: _run(bench_solver))
+    # Tighter budgets never buy more winners.
+    by_mode = {}
+    for frac, mode, winners, _, _ in budget_rows:
+        by_mode.setdefault(mode, []).append(winners)
+    for counts in by_mode.values():
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+    # Zero-tolerance bans fastest.
+    assert blacklist_rows[0][2] is not None
+    # The decaying profile concentrates selection at the top vs uniform.
+    assert psi_rows[1][1] > psi_rows[0][1]

@@ -1,0 +1,87 @@
+"""Micro-benchmarks backing the lightweightness claim (Section III-A).
+
+The paper argues FMore adds negligible per-round cost: each node computes
+its equilibrium bid in linear time (Euler's method) and the aggregator only
+scores and sorts N bids.  These benches measure the actual costs:
+
+* pricing one equilibrium bid (table lookup after the one-off build),
+* a full winner-determination round at N = 1000 bids,
+* one complete mechanism round (ask -> collect -> determine) at N = 500.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import MultiDimensionalProcurementAuction
+from repro.core.bids import Bid
+from repro.core.mechanism import FMoreMechanism
+from repro.core.scoring import MultiplicativeScore
+
+
+@pytest.fixture(scope="module")
+def bids_1000(bench_solver):
+    rng = np.random.default_rng(0)
+    thetas = bench_solver.model.distribution.sample(rng, 1000)
+    return [
+        Bid(i, *bench_solver.bid(float(t))) for i, t in enumerate(np.asarray(thetas))
+    ]
+
+
+def test_micro_equilibrium_bid(benchmark, bench_solver):
+    """One node's bid computation (Algorithm 1 lines 6-7)."""
+    result = benchmark(lambda: bench_solver.bid(0.37))
+    quality, payment = result
+    assert payment > 0
+
+
+def test_micro_solver_build(benchmark):
+    """The one-off strategy-table build each node performs per game."""
+    from repro.core.costs import LinearCost
+    from repro.core.equilibrium import EquilibriumSolver
+    from repro.core.valuation import PrivateValueModel, UniformTheta
+
+    def build():
+        return EquilibriumSolver(
+            MultiplicativeScore(2, 25.0),
+            LinearCost([4.0, 2.0]),
+            PrivateValueModel(UniformTheta(0.1, 1.0), 100, 20),
+            [[0.01, 5.0], [0.05, 1.0]],
+            grid_size=129,
+        )
+
+    solver = benchmark(build)
+    assert solver.margin(0.5) >= 0.0
+
+
+def test_micro_winner_determination_1000(benchmark, bench_solver, bids_1000):
+    """Score + sort + select at N=1000 (the aggregator's round cost)."""
+    auction = MultiDimensionalProcurementAuction(bench_solver.quality_rule, 20)
+    rng = np.random.default_rng(1)
+    out = benchmark(lambda: auction.run(bids_1000, rng))
+    assert len(out.winners) == 20
+
+
+def test_micro_mechanism_round_500(benchmark, bench_solver):
+    """A full protocol round with 500 bidding agents."""
+
+    class QuickAgent:
+        def __init__(self, node_id, theta, solver):
+            self.node_id = node_id
+            self._theta = theta
+            self._solver = solver
+
+        def make_bid(self, round_index, rng):
+            q, p = self._solver.bid(self._theta)
+            return Bid(self.node_id, q, p)
+
+    rng = np.random.default_rng(2)
+    thetas = bench_solver.model.distribution.sample(rng, 500)
+    agents = [
+        QuickAgent(i, float(t), bench_solver) for i, t in enumerate(np.asarray(thetas))
+    ]
+    auction = MultiDimensionalProcurementAuction(bench_solver.quality_rule, 20)
+    mechanism = FMoreMechanism(auction)
+    record = benchmark(lambda: mechanism.run_round(agents, 1, rng))
+    assert record.accounting.n_bids == 500

@@ -1,0 +1,14 @@
+"""Benchmark fixtures: cached federations/solvers shared across benches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import build_solver, preset
+
+
+@pytest.fixture(scope="session")
+def bench_solver():
+    """The simulation-game solver at paper population size (N=100, K=20)."""
+    cfg = preset("bench", "mnist_o")
+    return build_solver(cfg, n_clients=100, k_winners=20)

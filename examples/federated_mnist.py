@@ -1,0 +1,56 @@
+"""FMore vs RandFL vs FixFL on the synthetic MNIST-O federated task.
+
+Reproduces the Fig-4 experiment at a small, laptop-friendly scale: 20 edge
+nodes with heterogeneous non-IID data, an auction before every round, and
+the accuracy trajectories of the three selection schemes printed side by
+side.
+
+Run:  python examples/federated_mnist.py        (~30 s)
+"""
+
+from repro.analysis import headline_metrics, summarize_schemes
+from repro.sim import preset, run_comparison
+from repro.sim.reporting import ascii_table, series_table
+
+cfg = preset("bench", "mnist_o").with_(
+    name="example-mnist",
+    n_clients=20,
+    k_winners=5,
+    n_rounds=10,
+)
+print(f"dataset={cfg.dataset}  N={cfg.n_clients}  K={cfg.k_winners}  "
+      f"rounds={cfg.n_rounds}")
+print("running FMore / RandFL / FixFL on a shared federation...\n")
+
+results = run_comparison(cfg, ("FMore", "RandFL", "FixFL"), seed=7)
+
+print(
+    series_table(
+        "accuracy per round",
+        "round",
+        list(range(1, cfg.n_rounds + 1)),
+        {name: [round(a, 3) for a in h.accuracies] for name, h in results.items()},
+    )
+)
+
+target = 0.7
+rows = [
+    (s.scheme, s.final_accuracy, s.rounds_to_target, s.total_payment)
+    for s in summarize_schemes(results, target_accuracy=target)
+]
+print()
+print(
+    ascii_table(
+        ["scheme", "final accuracy", f"rounds to {target:.0%}", "total payment"],
+        rows,
+        title="summary",
+    )
+)
+
+metrics = headline_metrics(results, target_accuracy=target)
+print(
+    f"\nFMore vs RandFL: "
+    f"round reduction = {metrics.round_reduction_pct and round(metrics.round_reduction_pct, 1)}%, "
+    f"accuracy improvement = {metrics.accuracy_improvement_pct:+.1f}%"
+)
+print("(paper, full scale: 50% fewer rounds on MNIST-O, +28% accuracy on LSTM)")

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs on environments without `wheel`.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``) on
+offline boxes whose setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""Command-line entry point: reproduce figures without pytest.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro theory               # verify all theorems (Section IV)
+    python -m repro compare mnist_o      # Fig 4-7 style comparison
+    python -m repro cluster              # Fig 12-13 style cluster run
+    python -m repro sweep-n              # Fig 9b payment/score vs N
+    python -m repro sweep-k              # Fig 10b payment/score vs K
+
+The pytest benches in ``benchmarks/`` remain the canonical reproduction
+(they record paper-vs-measured blocks); this CLI is the quick interactive
+path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+COMMANDS = ("list", "theory", "compare", "cluster", "sweep-n", "sweep-k")
+
+
+def _cmd_list() -> int:
+    print(__doc__)
+    print("datasets for `compare`: mnist_o, mnist_f, cifar10, hpnews")
+    return 0
+
+
+def _cmd_theory() -> int:
+    from .analysis import report, verify_all
+
+    checks = verify_all(seed=0)
+    print(report(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_compare(dataset: str, seed: int, rounds: int | None) -> int:
+    from .analysis import summarize_schemes
+    from .sim import preset, run_comparison
+    from .sim.reporting import ascii_table, series_table
+
+    cfg = preset("bench", dataset)
+    if rounds is not None:
+        cfg = cfg.with_(n_rounds=rounds)
+    results = run_comparison(cfg, ("FMore", "RandFL", "FixFL"), seed=seed)
+    print(
+        series_table(
+            f"accuracy per round ({dataset})",
+            "round",
+            list(range(1, cfg.n_rounds + 1)),
+            {s: [round(a, 3) for a in h.accuracies] for s, h in results.items()},
+        )
+    )
+    rows = [
+        (s.scheme, round(s.final_accuracy, 3), s.rounds_to_target, round(s.total_payment, 3))
+        for s in summarize_schemes(results, target_accuracy=0.5)
+    ]
+    print()
+    print(ascii_table(["scheme", "final acc", "rounds to 50%", "payment"], rows))
+    return 0
+
+
+def _cmd_cluster(seed: int) -> int:
+    from .sim.cluster_experiment import ClusterConfig, run_cluster_comparison
+    from .sim.reporting import series_table
+
+    cfg = ClusterConfig(
+        n_nodes=31, k_winners=8, n_rounds=10, size_range=(150, 900),
+        test_per_class=25, model_width=0.18,
+    )
+    results = run_cluster_comparison(cfg, ("FMore", "RandFL"), seed=seed)
+    rounds = list(range(1, cfg.n_rounds + 1))
+    print(
+        series_table(
+            "cluster accuracy per round", "round", rounds,
+            {s: [round(a, 3) for a in h.accuracies] for s, h in results.items()},
+        )
+    )
+    print()
+    print(
+        series_table(
+            "cumulative simulated seconds", "round", rounds,
+            {s: [round(t, 1) for t in h.cumulative_seconds] for s, h in results.items()},
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(axis: str, seed: int) -> int:
+    from .analysis import payment_score_sweep_k, payment_score_sweep_n
+    from .sim import build_solver, preset
+    from .sim.reporting import series_table
+    from .sim.rng import rng_from
+
+    solver = build_solver(preset("bench", "mnist_o"), n_clients=100, k_winners=20)
+    rng = rng_from(seed, f"cli-{axis}")
+    if axis == "n":
+        rows = payment_score_sweep_n(solver, (50, 80, 110, 140, 170, 200), rng, 120)
+        index_name = "N"
+    else:
+        rows = payment_score_sweep_k(solver, (5, 10, 15, 20, 25, 30, 35), rng, 120)
+        index_name = "K"
+    print(
+        series_table(
+            f"winner payment and score vs {index_name}",
+            index_name,
+            [v for v, _ in rows],
+            {
+                "payment": [round(ws.mean_payment, 3) for _, ws in rows],
+                "score": [round(ws.mean_score, 3) for _, ws in rows],
+            },
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument("dataset", nargs="?", default="mnist_o")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "theory":
+        return _cmd_theory()
+    if args.command == "compare":
+        return _cmd_compare(args.dataset, args.seed, args.rounds)
+    if args.command == "cluster":
+        return _cmd_cluster(args.seed)
+    if args.command == "sweep-n":
+        return _cmd_sweep("n", args.seed)
+    if args.command == "sweep-k":
+        return _cmd_sweep("k", args.seed)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Analytics: equilibrium sweeps (Figs 8-10, Thms 2-3) and convergence summaries."""
+
+from .convergence import (
+    HeadlineMetrics,
+    SchemeSummary,
+    headline_metrics,
+    summarize_schemes,
+)
+from .equilibrium_analysis import (
+    ScoreTrackingSelection,
+    WinnerStats,
+    expected_profit_vs_k,
+    expected_profit_vs_n,
+    payment_score_sweep_k,
+    payment_score_sweep_n,
+    score_histogram,
+    selection_rank_proportions,
+    winner_stats,
+)
+from .theory_report import TheoremCheck, report, verify_all
+
+__all__ = [
+    "expected_profit_vs_n",
+    "expected_profit_vs_k",
+    "WinnerStats",
+    "winner_stats",
+    "payment_score_sweep_n",
+    "payment_score_sweep_k",
+    "score_histogram",
+    "ScoreTrackingSelection",
+    "selection_rank_proportions",
+    "SchemeSummary",
+    "summarize_schemes",
+    "HeadlineMetrics",
+    "headline_metrics",
+    "TheoremCheck",
+    "verify_all",
+    "report",
+]

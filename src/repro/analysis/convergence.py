@@ -1,0 +1,98 @@
+"""Convergence summaries: the paper's headline comparisons.
+
+Turns per-scheme :class:`~repro.fl.trainer.TrainingHistory` objects into the
+numbers Section V quotes: rounds-to-target-accuracy, percentage round
+reduction vs RandFL (paper: 51.3% average), relative accuracy improvement
+(paper: +28% for LSTM; +44.9% real-world) and time reduction (38.4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fl.metrics import (
+    accuracy_improvement,
+    round_reduction,
+    rounds_to_accuracy,
+    speedup_percent,
+    time_to_accuracy,
+)
+from ..fl.trainer import TrainingHistory
+
+__all__ = ["SchemeSummary", "summarize_schemes", "headline_metrics", "HeadlineMetrics"]
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """One scheme's end-of-run metrics."""
+
+    scheme: str
+    final_accuracy: float
+    final_loss: float
+    rounds_to_target: int | None
+    total_payment: float
+    total_seconds: float
+
+
+def summarize_schemes(
+    histories: dict[str, TrainingHistory], target_accuracy: float
+) -> list[SchemeSummary]:
+    """Tabulate every scheme's outcome at a common accuracy target."""
+    out: list[SchemeSummary] = []
+    for scheme, h in histories.items():
+        out.append(
+            SchemeSummary(
+                scheme=scheme,
+                final_accuracy=h.final_accuracy,
+                final_loss=h.losses[-1] if h.records else float("nan"),
+                rounds_to_target=h.rounds_to(target_accuracy),
+                total_payment=h.total_payment,
+                total_seconds=h.cumulative_seconds[-1] if h.records else 0.0,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class HeadlineMetrics:
+    """FMore-vs-RandFL numbers in the paper's units."""
+
+    round_reduction_pct: float | None
+    accuracy_improvement_pct: float
+    time_reduction_pct: float | None
+    fmore_final_accuracy: float
+    baseline_final_accuracy: float
+
+
+def headline_metrics(
+    histories: dict[str, TrainingHistory],
+    target_accuracy: float,
+    scheme: str = "FMore",
+    baseline: str = "RandFL",
+) -> HeadlineMetrics:
+    """Compute the paper's headline quantities from one comparison run."""
+    if scheme not in histories or baseline not in histories:
+        raise KeyError(f"need both {scheme!r} and {baseline!r} histories")
+    h_scheme = histories[scheme]
+    h_base = histories[baseline]
+    rr = round_reduction(
+        rounds_to_accuracy(h_base.accuracies, target_accuracy),
+        rounds_to_accuracy(h_scheme.accuracies, target_accuracy),
+    )
+    tr = None
+    if any(r.round_seconds > 0 for r in h_scheme.records):
+        tr = speedup_percent(
+            time_to_accuracy(h_base.accuracies, h_base.cumulative_seconds, target_accuracy),
+            time_to_accuracy(h_scheme.accuracies, h_scheme.cumulative_seconds, target_accuracy),
+        )
+    return HeadlineMetrics(
+        round_reduction_pct=rr,
+        accuracy_improvement_pct=accuracy_improvement(
+            h_base.final_accuracy, h_scheme.final_accuracy
+        ),
+        time_reduction_pct=tr,
+        fmore_final_accuracy=h_scheme.final_accuracy,
+        baseline_final_accuracy=h_base.final_accuracy,
+    )

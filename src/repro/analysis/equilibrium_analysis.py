@@ -1,0 +1,190 @@
+"""Equilibrium analytics behind Figs 8-10 and Theorems 2-3.
+
+* Theorem 2: a node's expected profit decreases in the population size N.
+* Theorem 3: it increases in the number of winners K.
+* Fig 9b / 10b: the average winner payment ``p`` and winner score as
+  functions of N and K (Monte-Carlo over type draws at equilibrium).
+* Fig 8: distribution of the equilibrium scores of the nodes each scheme
+  ends up selecting (FMore picks the top of the distribution, RandFL
+  samples it uniformly, FixFL freezes one draw).
+
+The sweeps reuse one solver's quality tables via
+:meth:`~repro.core.equilibrium.EquilibriumSolver.with_population`, so a
+full N-sweep costs one table build plus cheap kernel re-evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.equilibrium import EquilibriumSolver
+from ..fl.selection import SelectionResult, SelectionStrategy
+from ..fl.trainer import TrainingHistory
+
+__all__ = [
+    "expected_profit_vs_n",
+    "expected_profit_vs_k",
+    "WinnerStats",
+    "winner_stats",
+    "payment_score_sweep_n",
+    "payment_score_sweep_k",
+    "score_histogram",
+    "ScoreTrackingSelection",
+    "selection_rank_proportions",
+]
+
+
+def expected_profit_vs_n(
+    solver: EquilibriumSolver, theta: float, n_values: Sequence[int]
+) -> list[float]:
+    """Equilibrium expected profit of a type-``theta`` node for each N."""
+    out: list[float] = []
+    for n in n_values:
+        s = solver.with_population(n_nodes=int(n))
+        out.append(s.expected_profit(theta))
+    return out
+
+
+def expected_profit_vs_k(
+    solver: EquilibriumSolver, theta: float, k_values: Sequence[int]
+) -> list[float]:
+    """Equilibrium expected profit of a type-``theta`` node for each K."""
+    out: list[float] = []
+    for k in k_values:
+        s = solver.with_population(k_winners=int(k))
+        out.append(s.expected_profit(theta))
+    return out
+
+
+@dataclass(frozen=True)
+class WinnerStats:
+    """Average over draws of the winners' asked payment and score."""
+
+    mean_payment: float
+    mean_score: float
+
+
+def winner_stats(
+    solver: EquilibriumSolver,
+    rng: np.random.Generator,
+    n_draws: int = 200,
+) -> WinnerStats:
+    """Monte-Carlo winner payment/score for the solver's (N, K).
+
+    Each draw samples N types from the prior, prices every node's
+    equilibrium bid, sorts by score and averages the top-K payments and
+    scores — the quantities Figs 9b and 10b plot.
+    """
+    n = solver.model.n_nodes
+    k = solver.model.k_winners
+    payments_acc = 0.0
+    scores_acc = 0.0
+    for _ in range(n_draws):
+        thetas = np.asarray(solver.model.distribution.sample(rng, n), dtype=float)
+        payments = np.empty(n)
+        scores = np.empty(n)
+        for i, theta in enumerate(thetas):
+            u = solver.max_score(float(theta))
+            margin = solver.margin_at_score(u)
+            q = solver.optimal_quality(float(theta))
+            payments[i] = solver.cost.cost(q, float(theta)) + margin
+            scores[i] = u - margin
+        top = np.argsort(scores)[::-1][:k]
+        payments_acc += float(payments[top].mean())
+        scores_acc += float(scores[top].mean())
+    return WinnerStats(payments_acc / n_draws, scores_acc / n_draws)
+
+
+def payment_score_sweep_n(
+    solver: EquilibriumSolver,
+    n_values: Sequence[int],
+    rng: np.random.Generator,
+    n_draws: int = 200,
+) -> list[tuple[int, WinnerStats]]:
+    """Winner payment & score as N varies (Fig 9b)."""
+    return [
+        (int(n), winner_stats(solver.with_population(n_nodes=int(n)), rng, n_draws))
+        for n in n_values
+    ]
+
+
+def payment_score_sweep_k(
+    solver: EquilibriumSolver,
+    k_values: Sequence[int],
+    rng: np.random.Generator,
+    n_draws: int = 200,
+) -> list[tuple[int, WinnerStats]]:
+    """Winner payment & score as K varies (Fig 10b)."""
+    return [
+        (int(k), winner_stats(solver.with_population(k_winners=int(k)), rng, n_draws))
+        for k in k_values
+    ]
+
+
+def score_histogram(
+    scores: Sequence[float], bins: int = 10, value_range: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram as (bin edges, proportion-in-bin %) — Fig 8's y axis."""
+    arr = np.asarray(list(scores), dtype=float)
+    if arr.size == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return edges, np.zeros(bins)
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    return edges, 100.0 * counts / arr.size
+
+
+class ScoreTrackingSelection(SelectionStrategy):
+    """Wrap a non-auction scheme to record hypothetical equilibrium scores.
+
+    RandFL and FixFL never collect bids, but Fig 8 compares the equilibrium
+    score of the nodes *they would have selected* against FMore's winners.
+    This decorator asks every agent for its bid each round, scores it, then
+    delegates the actual selection to the wrapped strategy.
+    """
+
+    def __init__(self, base: SelectionStrategy, agents, auction):
+        self.base = base
+        self.agents = list(agents)
+        self.auction = auction
+        self.name = base.name
+        self.tracked_scores: list[dict[int, float]] = []
+        self.tracked_all_scores: list[list[float]] = []
+
+    def select(self, round_index: int, rng: np.random.Generator) -> SelectionResult:
+        scores: dict[int, float] = {}
+        for agent in self.agents:
+            bid = agent.make_bid(round_index, rng)
+            if bid is not None:
+                scores[agent.node_id] = self.auction.score_bid(bid)
+        result = self.base.select(round_index, rng)
+        picked = {
+            wid: scores[wid] for wid in result.winner_ids if wid in scores
+        }
+        self.tracked_scores.append(picked)
+        self.tracked_all_scores.append(list(scores.values()))
+        result.scores = picked
+        return result
+
+
+def selection_rank_proportions(
+    history: TrainingHistory, rank_cutoffs: Sequence[int] = (10, 20, 30)
+) -> dict[int, float]:
+    """Mean number of winners per round ranked inside each cutoff (Fig 11b).
+
+    For psi-FMore, small psi lets low-rank nodes win; the paper reports how
+    many selected nodes fall within the top-10/20/30 scores as psi varies.
+    """
+    out: dict[int, float] = {}
+    rounds = [r for r in history.records if r.winner_ranks]
+    if not rounds:
+        return {int(c): 0.0 for c in rank_cutoffs}
+    for cutoff in rank_cutoffs:
+        per_round = [
+            sum(1 for rank in r.winner_ranks.values() if rank < cutoff)
+            for r in rounds
+        ]
+        out[int(cutoff)] = float(np.mean(per_round))
+    return out

@@ -1,0 +1,185 @@
+"""Programmatic verification of every theoretical result in the paper.
+
+``verify_all(...)`` checks, numerically, on a configurable environment:
+
+* Che Thm 1   — equilibrium quality depends on theta only (not on N, K),
+* Che Thm 2   — K=1 payment matches the type-space closed form,
+* Prop 1      — K=2 payment matches the N-2-exponent closed form,
+* Thm 1       — payment backends (Euler / RK4 / quadrature) agree,
+* Thm 2       — expected profit decreasing in N,
+* Thm 3       — expected profit increasing in K,
+* Prop 2      — identical types: psi does not change win rates,
+* Prop 3      — quality choice independent of payment (dominance argument),
+* Prop 4      — Cobb-Douglas mix ratio law and budget exhaustion,
+* Thm 4       — score-sorted top-K maximises social surplus,
+* Thm 5       — under-declared quality never scores better (IC),
+* IR          — equilibrium margins are non-negative everywhere.
+
+Each check yields a :class:`TheoremCheck`; ``report(...)`` renders them as
+a table.  The test suite asserts every check passes; the
+``examples/theory_verification.py`` script prints the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.auction import MultiDimensionalProcurementAuction
+from ..core.bids import Bid
+from ..core.costs import QuadraticCost
+from ..core.equilibrium import EquilibriumSolver
+from ..core.guidance import optimal_quality_mix, quality_ratio
+from ..core.properties import check_incentive_compatibility, pareto_gap
+from ..core.psi import PsiSelection
+from ..core.scoring import AdditiveScore
+from ..core.valuation import PrivateValueModel, UniformTheta
+from ..sim.reporting import ascii_table
+
+__all__ = ["TheoremCheck", "verify_all", "report"]
+
+
+@dataclass(frozen=True)
+class TheoremCheck:
+    """Outcome of one numerical verification."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _default_solver(n=12, k=3, grid=257) -> EquilibriumSolver:
+    return EquilibriumSolver(
+        AdditiveScore([0.5, 0.5]),
+        QuadraticCost([1.0, 1.0]),
+        PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=n, k_winners=k),
+        [[0.0, 10.0], [0.0, 1.0]],
+        grid_size=grid,
+    )
+
+
+def verify_all(seed: int = 0, thetas=(0.15, 0.3, 0.5, 0.7, 0.9)) -> list[TheoremCheck]:
+    rng = np.random.default_rng(seed)
+    solver = _default_solver()
+    checks: list[TheoremCheck] = []
+
+    # Che Theorem 1: quality invariant to (N, K).
+    errs = []
+    for theta in thetas:
+        q_base = solver.optimal_quality(theta)
+        for variant in (solver.with_population(n_nodes=40), solver.with_population(k_winners=6)):
+            errs.append(float(np.max(np.abs(variant.optimal_quality(theta) - q_base))))
+    checks.append(
+        TheoremCheck("Che Thm 1: qs(theta) independent of N,K", max(errs) < 1e-12,
+                     f"max deviation {max(errs):.2e}")
+    )
+
+    # Che Theorem 2 (K=1) and Proposition 1 (K=2): closed-form payments.
+    for k, name in ((1, "Che Thm 2 (K=1 closed form)"), (2, "Prop 1 (K=2 closed form)")):
+        s = _default_solver(n=10, k=k, grid=513)
+        rel = max(
+            abs(s.payment(t) - s.payment_che_closed_form(t))
+            / max(s.payment_che_closed_form(t), 1e-12)
+            for t in thetas
+        )
+        checks.append(TheoremCheck(name, rel < 5e-3, f"max rel err {rel:.2e}"))
+
+    # Theorem 1: numerical backends agree.
+    rel = max(
+        abs(solver.payment(t, method="euler") - solver.payment(t, method="quadrature"))
+        / max(solver.payment(t, method="quadrature"), 1e-12)
+        for t in thetas
+    )
+    checks.append(TheoremCheck("Thm 1: Euler == quadrature payment", rel < 1e-2,
+                               f"max rel err {rel:.2e}"))
+
+    # Theorem 2: profit decreasing in N.
+    profits_n = [solver.with_population(n_nodes=n).expected_profit(0.3) for n in (6, 12, 24, 48)]
+    mono_n = all(a >= b - 1e-12 for a, b in zip(profits_n, profits_n[1:]))
+    checks.append(TheoremCheck("Thm 2: profit decreasing in N", mono_n,
+                               f"profits {['%.4f' % p for p in profits_n]}"))
+
+    # Theorem 3: profit increasing in K.
+    profits_k = [solver.with_population(k_winners=k).expected_profit(0.5) for k in (1, 3, 6, 10)]
+    mono_k = all(b >= a - 1e-12 for a, b in zip(profits_k, profits_k[1:]))
+    checks.append(TheoremCheck("Thm 3: profit increasing in K", mono_k,
+                               f"profits {['%.4f' % p for p in profits_k]}"))
+
+    # Proposition 2: identical types -> psi-independent win rates (~K/N).
+    n, k, trials = 6, 2, 800
+    rates = {}
+    for psi in (0.4, 1.0):
+        counts = np.zeros(n)
+        for t in range(trials):
+            trial_rng = np.random.default_rng(1000 + t)
+            bids = [Bid(i, np.array([1.0, 1.0]), 0.3) for i in range(n)]
+            auction = MultiDimensionalProcurementAuction(
+                solver.quality_rule, k, selection=PsiSelection(psi)
+            )
+            for w in auction.run(bids, trial_rng).winner_ids:
+                counts[w] += 1
+        rates[psi] = counts / trials
+    dev = max(float(np.max(np.abs(r - k / n))) for r in rates.values())
+    checks.append(TheoremCheck("Prop 2: psi-neutral win rates at identical theta",
+                               dev < 0.07, f"max |rate - K/N| = {dev:.3f}"))
+
+    # Proposition 3: joint (q, p) deviations never beat Thm-1 quality choice.
+    worst_gap = 0.0
+    for theta in thetas:
+        u_star = solver.max_score(theta)
+        for _ in range(40):
+            q_dev = rng.uniform(solver.quality_bounds[:, 0], solver.quality_bounds[:, 1])
+            u_dev = solver.quality_rule.value(q_dev) - solver.cost.cost(q_dev, theta)
+            worst_gap = max(worst_gap, u_dev - u_star)
+    checks.append(TheoremCheck("Prop 3: quality choice maximises s - c", worst_gap < 1e-6,
+                               f"max score-surplus gap {worst_gap:.2e}"))
+
+    # Proposition 4: ratio law + budget exhaustion.
+    mix = optimal_quality_mix([0.5, 0.3, 0.2], [0.2, 0.3, 0.5], theta=0.5, budget=10.0)
+    ratio_err = abs(
+        mix.quality[0] / mix.quality[1]
+        - quality_ratio(mix.alphas[0], mix.alphas[1], mix.betas[0], mix.betas[1])
+    )
+    budget_err = abs(0.5 * float(np.dot(mix.betas, mix.quality)) - 10.0)
+    checks.append(TheoremCheck("Prop 4: Cobb-Douglas mix ratio law",
+                               ratio_err < 1e-9 and budget_err < 1e-9,
+                               f"ratio err {ratio_err:.1e}, budget err {budget_err:.1e}"))
+
+    # Theorem 4: Pareto efficiency of score sorting.
+    pop_thetas = solver.model.distribution.sample(rng, solver.model.n_nodes)
+    bids = [Bid(i, *solver.bid(float(t))) for i, t in enumerate(np.asarray(pop_thetas))]
+    auction = MultiDimensionalProcurementAuction(solver.quality_rule, solver.model.k_winners)
+    outcome = auction.run(bids, rng)
+    gap = pareto_gap(
+        [w.quality for w in outcome.winners],
+        [float(pop_thetas[w.node_id]) for w in outcome.winners],
+        np.asarray(pop_thetas, dtype=float),
+        solver.quality_rule,
+        solver.cost,
+        solver.quality_bounds,
+        solver.model.k_winners,
+    )
+    checks.append(TheoremCheck("Thm 4: Pareto efficiency (surplus gap ~ 0)",
+                               abs(gap) < 1e-3, f"surplus gap {gap:.2e}"))
+
+    # Theorem 5: incentive compatibility.
+    violation = None
+    for theta in thetas:
+        violation = violation or check_incentive_compatibility(solver, theta, rng, 64)
+    checks.append(TheoremCheck("Thm 5: incentive compatibility", violation is None,
+                               "no profitable under-declaration found"
+                               if violation is None else f"violation at theta={violation.theta}"))
+
+    # Individual rationality across the type space.
+    margins = [solver.margin(float(t)) for t in np.linspace(0.1, 1.0, 25)]
+    checks.append(TheoremCheck("IR: equilibrium margin >= 0 on support",
+                               min(margins) >= -1e-9, f"min margin {min(margins):.2e}"))
+    return checks
+
+
+def report(checks: list[TheoremCheck]) -> str:
+    """Render verification results as a table."""
+    rows = [(c.name, "PASS" if c.passed else "FAIL", c.detail) for c in checks]
+    return ascii_table(["result", "status", "detail"], rows,
+                       title="theoretical results, verified numerically")

@@ -1,0 +1,170 @@
+"""The multi-dimensional procurement auction with K winners.
+
+This is the aggregator side of FMore's first three steps: it owns the
+scoring rule announced in the *bid ask*, evaluates the sealed bids collected
+in *bid collection*, and performs *winner determination* — sorting scores in
+descending order, resolving ties with a coin flip, selecting winners via a
+pluggable :class:`~repro.core.psi.WinnerSelection` policy (top-K by default,
+psi-FMore optionally), and charging payments under the first-score or
+second-score rule (Section III-A(3); the paper uses first-score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bids import AuctionWinner, Bid, ScoredBid
+from .psi import TopKSelection, WinnerSelection
+from .scoring import QuasiLinearScoringRule, ScoringRule
+
+__all__ = ["AuctionOutcome", "MultiDimensionalProcurementAuction", "PAYMENT_RULES"]
+
+PAYMENT_RULES = ("first_score", "second_score")
+
+
+@dataclass
+class AuctionOutcome:
+    """Result of one auction round.
+
+    ``scored_bids`` holds every submitted bid in descending score order
+    (post tie-break); ``winners`` the selected subset with charged payments.
+    """
+
+    winners: list[AuctionWinner]
+    scored_bids: list[ScoredBid]
+    k_requested: int
+    payment_rule: str
+
+    @property
+    def winner_ids(self) -> list[int]:
+        return [w.node_id for w in self.winners]
+
+    @property
+    def total_payment(self) -> float:
+        """What the aggregator disburses this round."""
+        return float(sum(w.charged_payment for w in self.winners))
+
+    @property
+    def scores(self) -> np.ndarray:
+        """All scores in descending order."""
+        return np.asarray([sb.score for sb in self.scored_bids])
+
+    def aggregator_profit(self, utility: ScoringRule) -> float:
+        """Eq. 6: ``V = sum_{i in W} U(q_i) - p_i`` for a utility ``U``."""
+        total = 0.0
+        for w in self.winners:
+            total += utility.value(w.quality) - w.charged_payment
+        return float(total)
+
+
+class MultiDimensionalProcurementAuction:
+    """First/second-score sealed-bid procurement auction with K winners.
+
+    Parameters
+    ----------
+    scoring:
+        Either a bare :class:`ScoringRule` (used as ``s`` with
+        ``S = s(q) - p``) or a :class:`QuasiLinearScoringRule` wrapper (which
+        can min-max normalise qualities, as in the walk-through example).
+    k_winners:
+        The number of winners ``K`` sought each round.
+    payment_rule:
+        ``"first_score"`` — winners are paid what they asked (paper default).
+        ``"second_score"`` — each winner is paid the amount that makes its
+        score equal to the best rejected score, i.e.
+        ``p_i = s(q_i) - S_(K+1)``; with no rejected bid a reserve score of
+        zero applies.
+    selection:
+        Winner-selection policy over the sorted list (default: top-K).
+    """
+
+    def __init__(
+        self,
+        scoring: ScoringRule | QuasiLinearScoringRule,
+        k_winners: int,
+        payment_rule: str = "first_score",
+        selection: WinnerSelection | None = None,
+    ):
+        if isinstance(scoring, ScoringRule):
+            scoring = QuasiLinearScoringRule(scoring)
+        self.scoring = scoring
+        if k_winners < 1:
+            raise ValueError("k_winners must be >= 1")
+        self.k_winners = int(k_winners)
+        if payment_rule not in PAYMENT_RULES:
+            raise ValueError(
+                f"unknown payment rule {payment_rule!r}; choose from {PAYMENT_RULES}"
+            )
+        self.payment_rule = payment_rule
+        self.selection = selection if selection is not None else TopKSelection()
+
+    def score_bid(self, bid: Bid) -> float:
+        """Evaluate ``S(q_i, p_i)`` for one bid."""
+        return float(self.scoring.score(bid.quality, bid.payment))
+
+    def run(self, bids: list[Bid], rng: np.random.Generator) -> AuctionOutcome:
+        """Run winner determination over the collected ``bids``.
+
+        Bids are scored, sorted in descending order with ties resolved "by
+        the flip of a coin" (a uniform random tie-break key), the selection
+        policy picks winners, and the payment rule fixes transfers.
+        """
+        if not bids:
+            return AuctionOutcome([], [], self.k_requested_for(0), self.payment_rule)
+        m = bids[0].n_dimensions
+        for b in bids:
+            if b.n_dimensions != m:
+                raise ValueError("all bids must share the same dimensionality")
+        seen: set[int] = set()
+        for b in bids:
+            if b.node_id in seen:
+                raise ValueError(f"duplicate bid from node {b.node_id}")
+            seen.add(b.node_id)
+
+        scores = np.asarray([self.score_bid(b) for b in bids])
+        tiebreak = rng.random(len(bids))
+        order = sorted(
+            range(len(bids)), key=lambda i: (-scores[i], tiebreak[i])
+        )
+        scored = [ScoredBid(bids[i], float(scores[i])) for i in order]
+
+        positions = self.selection.select(len(scored), self.k_winners, rng)
+        winners = self._charge(scored, positions)
+        return AuctionOutcome(winners, scored, self.k_winners, self.payment_rule)
+
+    def k_requested_for(self, n_bids: int) -> int:
+        return min(self.k_winners, n_bids)
+
+    def _charge(self, scored: list[ScoredBid], positions: list[int]) -> list[AuctionWinner]:
+        winners: list[AuctionWinner] = []
+        if self.payment_rule == "second_score":
+            reference_score = self._reference_score(scored, positions)
+        for rank, pos in enumerate(positions):
+            sb = scored[pos]
+            asked = sb.bid.payment
+            if self.payment_rule == "first_score":
+                charged = asked
+            else:
+                s_value = self.scoring.score(sb.bid.quality, 0.0)
+                charged = max(s_value - reference_score, asked)
+            winners.append(
+                AuctionWinner(
+                    node_id=sb.node_id,
+                    quality=sb.bid.quality,
+                    asked_payment=float(asked),
+                    charged_payment=float(charged),
+                    score=sb.score,
+                    rank=rank,
+                )
+            )
+        return winners
+
+    @staticmethod
+    def _reference_score(scored: list[ScoredBid], positions: list[int]) -> float:
+        """Best score among rejected bids (reserve 0 when none rejected)."""
+        rejected = [sb.score for i, sb in enumerate(scored) if i not in set(positions)]
+        if not rejected:
+            return 0.0
+        return float(max(rejected))

@@ -1,0 +1,146 @@
+"""Blacklisting of non-compliant nodes (Sections II-A and III-A).
+
+The paper assumes nodes deliver what they bid, backed by enforcement:
+"If any edge node does not comply with the contract, it will be put into
+the blacklist by the aggregator" and "many techniques such as blacklist can
+be applied to the defaulter".  This module makes that concrete:
+
+* :class:`DeliveryReport` — what a winner actually provided vs declared,
+* :class:`Blacklist` — tracks violations with a strike policy and exposes
+  a filter for the bid-collection step,
+* :func:`audit_round` — compares an auction outcome against delivery
+  reports and files violations.
+
+A strike threshold above one tolerates transient resource failures (an
+edge node losing bandwidth mid-round) while still expelling systematic
+under-deliverers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .auction import AuctionOutcome
+
+__all__ = ["DeliveryReport", "Violation", "Blacklist", "audit_round"]
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """What node ``node_id`` actually delivered for a won contract."""
+
+    node_id: int
+    delivered_quality: np.ndarray
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.delivered_quality, dtype=float)
+        object.__setattr__(self, "delivered_quality", q)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A recorded contract breach."""
+
+    node_id: int
+    round_index: int
+    declared: np.ndarray
+    delivered: np.ndarray
+    shortfall: float  # max relative under-delivery across dimensions
+
+
+@dataclass
+class Blacklist:
+    """Strike-based exclusion of defaulting nodes.
+
+    Parameters
+    ----------
+    strikes_to_ban:
+        Violations tolerated before exclusion (1 = zero tolerance).
+    tolerance:
+        Relative under-delivery ignored as measurement noise (e.g. 0.05
+        forgives delivering 95 of 100 promised samples).
+    """
+
+    strikes_to_ban: int = 2
+    tolerance: float = 0.05
+    violations: list[Violation] = field(default_factory=list)
+    _strikes: dict[int, int] = field(default_factory=dict)
+    _banned: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.strikes_to_ban < 1:
+            raise ValueError("strikes_to_ban must be >= 1")
+        if not (0.0 <= self.tolerance < 1.0):
+            raise ValueError("tolerance must lie in [0, 1)")
+
+    def is_banned(self, node_id: int) -> bool:
+        return node_id in self._banned
+
+    @property
+    def banned(self) -> frozenset[int]:
+        return frozenset(self._banned)
+
+    def strikes(self, node_id: int) -> int:
+        return self._strikes.get(node_id, 0)
+
+    def record(self, violation: Violation) -> None:
+        """File a violation and ban the node once strikes are exhausted."""
+        self.violations.append(violation)
+        count = self._strikes.get(violation.node_id, 0) + 1
+        self._strikes[violation.node_id] = count
+        if count >= self.strikes_to_ban:
+            self._banned.add(violation.node_id)
+
+    def filter_agents(self, agents):
+        """Drop banned agents before a bid ask (the enforcement hook)."""
+        return [a for a in agents if a.node_id not in self._banned]
+
+    def pardon(self, node_id: int) -> None:
+        """Lift a ban and clear strikes (operator override)."""
+        self._banned.discard(node_id)
+        self._strikes.pop(node_id, None)
+
+
+def audit_round(
+    outcome: AuctionOutcome,
+    reports: dict[int, DeliveryReport],
+    blacklist: Blacklist,
+    round_index: int,
+) -> list[Violation]:
+    """Compare winners' declared qualities against delivery reports.
+
+    A missing report counts as delivering nothing.  Under-delivery beyond
+    the blacklist's tolerance in *any* dimension files a violation.
+    Returns the violations found this round (already recorded).
+    """
+    found: list[Violation] = []
+    for winner in outcome.winners:
+        declared = np.asarray(winner.quality, dtype=float)
+        report = reports.get(winner.node_id)
+        delivered = (
+            np.zeros_like(declared)
+            if report is None
+            else np.asarray(report.delivered_quality, dtype=float)
+        )
+        if delivered.shape != declared.shape:
+            raise ValueError(
+                f"delivery report for node {winner.node_id} has wrong shape"
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel_short = np.where(
+                declared > 0, (declared - delivered) / declared, 0.0
+            )
+        shortfall = float(np.max(rel_short)) if rel_short.size else 0.0
+        if shortfall > blacklist.tolerance:
+            violation = Violation(
+                node_id=winner.node_id,
+                round_index=round_index,
+                declared=declared,
+                delivered=delivered,
+                shortfall=shortfall,
+            )
+            blacklist.record(violation)
+            found.append(violation)
+    return found

@@ -1,0 +1,91 @@
+"""Budget-constrained winner selection (the paper's stated future work).
+
+Section VII: "the budget constraint of the aggregator is not considered,
+which is left for future work."  This module provides the natural
+extension: walk the score-sorted bids and admit winners while the
+cumulative payment stays within a per-round budget ``c0`` (and at most K
+winners), plus a greedy knapsack variant that ranks by score-per-payment.
+
+Both plug into :class:`~repro.core.auction.MultiDimensionalProcurementAuction`
+as selection policies; the selection sees payments through the bids
+recorded at scoring time, so it composes with first-score payments (the
+paper's default, where charged == asked).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .auction import AuctionOutcome, MultiDimensionalProcurementAuction
+from .bids import Bid
+
+__all__ = ["BudgetedAuction"]
+
+
+class BudgetedAuction:
+    """A procurement auction whose winner set respects a payment budget.
+
+    Not a :class:`WinnerSelection` (those only see positions); this wrapper
+    re-implements the winner walk with payment visibility.
+
+    Parameters
+    ----------
+    auction:
+        The underlying auction (supplies scoring and tie-breaking).
+    budget:
+        Maximum total payment per round.
+    mode:
+        ``"score_order"`` — admit in score order, skipping bids that do not
+        fit the remaining budget (the paper's K-winner rule with a purse);
+        ``"value_per_cost"`` — greedy knapsack by ``score / payment``,
+        better aggregator utility per unit spend when the purse binds.
+    """
+
+    def __init__(
+        self,
+        auction: MultiDimensionalProcurementAuction,
+        budget: float,
+        mode: str = "score_order",
+    ):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        if mode not in ("score_order", "value_per_cost"):
+            raise ValueError("mode must be 'score_order' or 'value_per_cost'")
+        if auction.payment_rule != "first_score":
+            raise ValueError(
+                "budgeted selection requires first-score payments "
+                "(charged == asked is known at selection time)"
+            )
+        self.auction = auction
+        self.budget = float(budget)
+        self.mode = mode
+
+    def run(self, bids: list[Bid], rng: np.random.Generator) -> AuctionOutcome:
+        base = self.auction.run(bids, rng)
+        if not base.scored_bids:
+            return base
+        order = list(range(len(base.scored_bids)))
+        if self.mode == "value_per_cost":
+            def ratio(pos: int) -> float:
+                sb = base.scored_bids[pos]
+                payment = max(sb.bid.payment, 1e-12)
+                return sb.score / payment
+
+            order.sort(key=lambda pos: -ratio(pos))
+
+        chosen: list[int] = []
+        spent = 0.0
+        for pos in order:
+            if len(chosen) >= self.auction.k_winners:
+                break
+            sb = base.scored_bids[pos]
+            if sb.score < 0:
+                continue  # IR of the aggregator: never buy negative scores
+            if spent + sb.bid.payment <= self.budget + 1e-12:
+                chosen.append(pos)
+                spent += sb.bid.payment
+        chosen.sort()  # keep rank order stable for charging
+        winners = self.auction._charge(base.scored_bids, chosen)
+        return AuctionOutcome(
+            winners, base.scored_bids, self.auction.k_winners, self.auction.payment_rule
+        )

@@ -1,0 +1,165 @@
+"""Mechanism-property checkers: IR, IC, Pareto efficiency, social surplus.
+
+The paper proves (Section IV):
+
+* **Theorem 4** — when the aggregator's utility ``U`` equals the additive
+  quality score ``s``, FMore is Pareto efficient: the winner set maximises
+  the social surplus ``sum_{i in W} [s(q_i) - c(q_i, theta_i)]``.
+* **Theorem 5** — FMore is incentive compatible: declaring a *lower* quality
+  than the equilibrium one (while keeping the asked payment) strictly
+  lowers the submitted score, hence the winning probability.
+
+These are verified numerically here; the test suite and the property-based
+hypothesis suites drive the checkers across environments, and the
+integration benches report the realised social surplus of simulated rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from .auction import AuctionOutcome
+from .costs import CostModel
+from .equilibrium import EquilibriumSolver, optimize_quality
+from .scoring import ScoringRule
+
+__all__ = [
+    "is_individually_rational",
+    "profit_of_payment_deviation",
+    "ICViolation",
+    "check_incentive_compatibility",
+    "social_surplus",
+    "max_social_surplus",
+    "pareto_gap",
+    "realized_social_surplus",
+]
+
+
+def is_individually_rational(payment: float, cost_value: float, tol: float = 1e-9) -> bool:
+    """IR constraint of Eq. 5: profit ``p - c`` must be non-negative."""
+    return payment - cost_value >= -tol
+
+
+def profit_of_payment_deviation(
+    solver: EquilibriumSolver, theta: float, payment: float
+) -> float:
+    """Expected profit of bidding ``(qs(theta), payment)`` for any payment.
+
+    The submitted score becomes ``s(qs) - payment``; the deviation wins with
+    probability ``g(score)`` read off the equilibrium score distribution.
+    At the equilibrium payment this equals
+    :meth:`EquilibriumSolver.expected_profit`; the hypothesis suite uses it
+    to confirm no profitable unilateral payment deviation exists (the Nash
+    property of Definition 1).
+    """
+    q = solver.optimal_quality(theta)
+    own_cost = solver.cost.cost(q, theta)
+    submitted_score = solver.quality_rule.value(q) - payment
+    win = solver.win_probability_at_score(submitted_score, model="exact")
+    return float((payment - own_cost) * win)
+
+
+@dataclass(frozen=True)
+class ICViolation:
+    """A counterexample to incentive compatibility, if one is found."""
+
+    theta: float
+    truthful_score: float
+    deviant_quality: np.ndarray
+    deviant_score: float
+
+
+def check_incentive_compatibility(
+    solver: EquilibriumSolver,
+    theta: float,
+    rng: np.random.Generator,
+    n_trials: int = 32,
+) -> ICViolation | None:
+    """Theorem 5: under-declaring quality never increases the score.
+
+    Samples ``n_trials`` deviant declarations ``q_hat`` with at least one
+    coordinate strictly below the equilibrium quality (holding the asked
+    payment fixed) and checks each scores no better than the truthful bid.
+    Returns the first violation found, or ``None``.
+    """
+    q_star, p_star = solver.bid(theta)
+    truthful_score = solver.quality_rule.value(q_star) - p_star
+    lo = solver.quality_bounds[:, 0]
+    for _ in range(n_trials):
+        shrink = rng.uniform(0.0, 1.0, size=q_star.size)
+        # Force at least one strictly-lower coordinate.
+        j = rng.integers(q_star.size)
+        shrink[j] = min(shrink[j], 0.9)
+        q_hat = lo + shrink * (q_star - lo)
+        deviant_score = solver.quality_rule.value(q_hat) - p_star
+        if deviant_score > truthful_score + 1e-9:
+            return ICViolation(theta, truthful_score, q_hat, deviant_score)
+    return None
+
+
+def social_surplus(
+    qualities: Sequence[np.ndarray],
+    thetas: Sequence[float],
+    rule: ScoringRule,
+    cost: CostModel,
+) -> float:
+    """``SS = sum_i s(q_i) - c(q_i, theta_i)`` over a winner set (Thm 4)."""
+    total = 0.0
+    for q, theta in zip(qualities, thetas):
+        total += rule.value(np.asarray(q, dtype=float)) - cost.cost(q, float(theta))
+    return float(total)
+
+
+def max_social_surplus(
+    thetas: Sequence[float],
+    rule: ScoringRule,
+    cost: CostModel,
+    bounds: np.ndarray,
+    k_winners: int,
+) -> float:
+    """Maximum achievable surplus: each type at ``qs(theta)``, best K types.
+
+    Because ``u0(theta) = s(qs) - c(qs, theta)`` is decreasing in ``theta``,
+    the optimum picks the K lowest types — exactly what score-sorting does
+    at equilibrium, which is the content of Theorem 4.
+    """
+    thetas_arr = np.asarray(thetas, dtype=float)
+    per_type = np.empty(thetas_arr.size)
+    for i, theta in enumerate(thetas_arr):
+        q = optimize_quality(rule, cost, float(theta), bounds)
+        per_type[i] = rule.value(q) - cost.cost(q, float(theta))
+    best = np.sort(per_type)[::-1][: min(k_winners, per_type.size)]
+    # Only non-negative contributions: a rational planner excludes nodes
+    # whose best surplus is negative (they would not participate, IR).
+    return float(np.sum(np.maximum(best, 0.0)))
+
+
+def pareto_gap(
+    outcome_qualities: Sequence[np.ndarray],
+    outcome_thetas: Sequence[float],
+    all_thetas: Sequence[float],
+    rule: ScoringRule,
+    cost: CostModel,
+    bounds: np.ndarray,
+    k_winners: int,
+) -> float:
+    """Optimal surplus minus realised surplus (zero iff Pareto efficient)."""
+    achieved = social_surplus(outcome_qualities, outcome_thetas, rule, cost)
+    optimal = max_social_surplus(all_thetas, rule, cost, bounds, k_winners)
+    return float(optimal - achieved)
+
+
+def realized_social_surplus(
+    outcome: AuctionOutcome,
+    thetas_by_node: dict[int, float],
+    rule: ScoringRule,
+    cost: CostModel,
+) -> float:
+    """Surplus realised by an :class:`AuctionOutcome` given true types."""
+    qualities = [w.quality for w in outcome.winners]
+    thetas = [thetas_by_node[w.node_id] for w in outcome.winners]
+    return social_surplus(qualities, thetas, rule, cost)

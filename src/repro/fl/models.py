@@ -1,0 +1,143 @@
+"""The paper's model zoo: two CNNs and an LSTM classifier.
+
+Footnotes 1-2 of the paper give the exact TensorFlow architectures:
+
+* MNIST CNN (8 layers):  3x3x32 Conv -> 3x3x64 Conv -> 2x2 MaxPool ->
+  Dropout -> Flatten -> 128 Dense -> Dropout -> 10 Dense -> Softmax.
+* CIFAR CNN (11 layers): 3x3x32 Conv -> Dropout -> 2x2 MaxPool ->
+  3x3x64 Conv -> Dropout -> 2x2 MaxPool -> Flatten -> Dropout ->
+  1024 Dense -> Dropout -> 10 Dense -> Softmax.
+* HPNews LSTM: Embedding -> LSTM -> Dense -> Softmax (standard Keras text
+  classifier; exact sizes unstated in the paper).
+
+``width`` scales the filter/unit counts so benchmark presets can run the
+same architectures at laptop speed; ``width=1.0`` is the paper-faithful
+configuration.  Softmax itself is fused into the cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .nn import (
+    LSTM,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    SGD,
+)
+
+__all__ = [
+    "cnn_mnist_factory",
+    "cnn_cifar_factory",
+    "lstm_factory",
+    "build_model",
+]
+
+
+def _scaled(base: int, width: float) -> int:
+    return max(int(round(base * width)), 2)
+
+
+def cnn_mnist_factory(n_classes: int = 10, width: float = 1.0, dropout: float = 0.2):
+    """Layer factory for the paper's MNIST CNN (footnote 1)."""
+
+    def factory():
+        return [
+            Conv2D(_scaled(32, width), kernel_size=3),
+            ReLU(),
+            Conv2D(_scaled(64, width), kernel_size=3),
+            ReLU(),
+            MaxPool2D(2),
+            Dropout(dropout),
+            Flatten(),
+            Dense(_scaled(128, width)),
+            ReLU(),
+            Dropout(dropout),
+            Dense(n_classes),
+        ]
+
+    return factory
+
+
+def cnn_cifar_factory(n_classes: int = 10, width: float = 1.0, dropout: float = 0.2):
+    """Layer factory for the paper's CIFAR-10 CNN (footnote 2)."""
+
+    def factory():
+        return [
+            Conv2D(_scaled(32, width), kernel_size=3),
+            ReLU(),
+            Dropout(dropout),
+            MaxPool2D(2),
+            Conv2D(_scaled(64, width), kernel_size=3),
+            ReLU(),
+            Dropout(dropout),
+            MaxPool2D(2),
+            Flatten(),
+            Dropout(dropout),
+            Dense(_scaled(1024, width)),
+            ReLU(),
+            Dropout(dropout),
+            Dense(n_classes),
+        ]
+
+    return factory
+
+
+def lstm_factory(
+    vocab_size: int,
+    n_classes: int = 10,
+    embed_dim: int = 32,
+    hidden: int = 32,
+    width: float = 1.0,
+):
+    """Layer factory for the HPNews LSTM classifier."""
+
+    def factory():
+        return [
+            Embedding(vocab_size, _scaled(embed_dim, width)),
+            LSTM(_scaled(hidden, width)),
+            Dense(n_classes),
+        ]
+
+    return factory
+
+
+def build_model(
+    dataset_name: str,
+    input_shape: tuple[int, ...],
+    n_classes: int,
+    rng: np.random.Generator,
+    width: float = 1.0,
+    lr: float = 0.05,
+    vocab_size: int | None = None,
+) -> Sequential:
+    """Build the paper's model for a dataset name at a given width.
+
+    The CIFAR CNN needs images of at least 10x10 for its two pool stages;
+    smaller presets automatically fall back to the single-pool MNIST
+    architecture (identical code path, one fewer stage).
+    """
+    if dataset_name in ("mnist_o", "mnist_f"):
+        factory = cnn_mnist_factory(n_classes, width)
+    elif dataset_name == "cifar10":
+        size = input_shape[0]
+        # Width-scaled small nets are fragile under the paper's 0.2 dropout;
+        # keep dropout proportional to capacity.
+        drop = 0.2 if width >= 0.75 else 0.1
+        if size >= 10:
+            factory = cnn_cifar_factory(n_classes, width, dropout=drop)
+        else:
+            factory = cnn_mnist_factory(n_classes, width, dropout=drop)
+    elif dataset_name == "hpnews":
+        if vocab_size is None:
+            raise ValueError("hpnews model requires vocab_size")
+        factory = lstm_factory(vocab_size, n_classes, width=max(width, 0.25))
+    else:
+        raise ValueError(f"unknown dataset {dataset_name!r}")
+    return Sequential(factory, input_shape, optimizer=SGD(lr), rng=rng)

@@ -1,0 +1,33 @@
+"""Weight initialisers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "orthogonal", "zeros"]
+
+
+def glorot_uniform(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform — the right default for tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He normal — the right default for ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float64)
+
+
+def orthogonal(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+    """Orthogonal init — standard for recurrent kernels (stable BPTT)."""
+    a = rng.standard_normal(shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q = q * np.sign(np.diag(r))
+    if shape[0] < shape[1]:
+        q = q.T
+    return q[: shape[0], : shape[1]].astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,59 @@
+"""Loss functions for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MeanSquaredError"]
+
+
+class Loss(ABC):
+    """A loss pairs a scalar objective with its gradient wrt the logits."""
+
+    @abstractmethod
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        ...
+
+    @abstractmethod
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        ...
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + categorical cross-entropy over integer labels.
+
+    Fusing keeps the backward pass the numerically-stable
+    ``softmax(logits) - one_hot(targets)`` and matches the paper's
+    ``...Fully connected -> Softmax`` model heads.
+    """
+
+    @staticmethod
+    def probabilities(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        probs = self.probabilities(predictions)
+        n = predictions.shape[0]
+        picked = probs[np.arange(n), targets.astype(int)]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probs = self.probabilities(predictions)
+        n = predictions.shape[0]
+        probs[np.arange(n), targets.astype(int)] -= 1.0
+        return probs / n
+
+
+class MeanSquaredError(Loss):
+    """Plain MSE for regression-style diagnostics."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        diff = predictions - targets
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return 2.0 * (predictions - targets) / predictions.size

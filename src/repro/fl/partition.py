@@ -1,0 +1,220 @@
+"""Non-IID data partitioning across federated clients.
+
+The paper follows McMahan et al. in studying non-IID sample distributions
+across edge nodes (Section V-A), and FMore's whole premise is a *widening
+resource gap*: clients differ in how much data they hold (``q1``) and how
+many of the label categories they cover (``q2``, "the proportion of data
+category").  This module turns those two axes into client specifications:
+
+* :func:`heterogeneous_specs` — every client gets a data size drawn from a
+  (log-uniform by default) size law and a random subset of classes, giving
+  the joint size/diversity spread the auction prices.
+* :func:`shard_specs` — the classic McMahan shard construction (sort by
+  label, deal out shards), expressed as per-class counts.
+* :func:`dirichlet_specs` — label distribution per client drawn from a
+  Dirichlet, the other standard non-IID benchmark.
+
+Specs are materialised into actual arrays with
+:func:`materialize_clients`, which asks a
+:class:`~repro.fl.datasets.DataGenerator` for exactly the samples needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .datasets import DataGenerator
+
+__all__ = [
+    "ClientSpec",
+    "ClientData",
+    "heterogeneous_specs",
+    "shard_specs",
+    "dirichlet_specs",
+    "materialize_clients",
+]
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """How one client's local dataset should look: samples per class."""
+
+    client_id: int
+    class_counts: dict[int, int]
+
+    @property
+    def size(self) -> int:
+        return int(sum(self.class_counts.values()))
+
+    @property
+    def n_classes_present(self) -> int:
+        return int(sum(1 for v in self.class_counts.values() if v > 0))
+
+
+@dataclass
+class ClientData:
+    """A client's realised local dataset plus the stats the auction scores.
+
+    ``category_proportion`` is the paper's ``q2``: the fraction of all label
+    categories present locally, in ``(0, 1]``.
+    """
+
+    client_id: int
+    x: np.ndarray
+    y: np.ndarray
+    n_classes_total: int
+
+    @property
+    def size(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def class_histogram(self) -> np.ndarray:
+        return np.bincount(self.y, minlength=self.n_classes_total)
+
+    @property
+    def n_classes_present(self) -> int:
+        return int(np.count_nonzero(self.class_histogram))
+
+    @property
+    def category_proportion(self) -> float:
+        if self.n_classes_total == 0:
+            return 0.0
+        return self.n_classes_present / self.n_classes_total
+
+    def subset(self, n_samples: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """A class-stratified subset of ``n_samples`` (declared data size).
+
+        When a node's equilibrium bid declares fewer samples than it holds,
+        it trains on this subset — keeping every locally-present class
+        represented so the declared category proportion stays honest.
+        """
+        n_samples = int(min(max(n_samples, 1), self.size))
+        if n_samples == self.size:
+            return self.x, self.y
+        chosen: list[np.ndarray] = []
+        classes = np.flatnonzero(self.class_histogram)
+        # At least one sample per present class, remainder proportional.
+        per_class = np.maximum(
+            (self.class_histogram[classes] / self.size * n_samples).astype(int), 1
+        )
+        while per_class.sum() > n_samples:
+            j = int(np.argmax(per_class))
+            per_class[j] -= 1
+        for cls, count in zip(classes, per_class):
+            idx = np.flatnonzero(self.y == cls)
+            take = rng.choice(idx, size=min(count, idx.size), replace=False)
+            chosen.append(take)
+        sel = np.concatenate(chosen)
+        return self.x[sel], self.y[sel]
+
+
+def heterogeneous_specs(
+    n_clients: int,
+    n_classes: int,
+    rng: np.random.Generator,
+    size_range: tuple[int, int] = (200, 5000),
+    min_classes: int = 1,
+    max_classes: int | None = None,
+    log_uniform_sizes: bool = True,
+) -> list[ClientSpec]:
+    """Clients with independently drawn data sizes and class subsets.
+
+    This is the MEC population of the paper's simulator: data sizes over a
+    wide range (the walk-through uses [1000, 5000]) and category coverage
+    from a single class up to all ten.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    lo, hi = size_range
+    if not (0 < lo <= hi):
+        raise ValueError("size_range must satisfy 0 < lo <= hi")
+    max_classes = n_classes if max_classes is None else max_classes
+    if not (1 <= min_classes <= max_classes <= n_classes):
+        raise ValueError("need 1 <= min_classes <= max_classes <= n_classes")
+    specs: list[ClientSpec] = []
+    for cid in range(n_clients):
+        if log_uniform_sizes:
+            size = int(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        else:
+            size = int(rng.integers(lo, hi + 1))
+        n_cls = int(rng.integers(min_classes, max_classes + 1))
+        classes = rng.choice(n_classes, size=n_cls, replace=False)
+        weights = rng.dirichlet(np.ones(n_cls) * 3.0)
+        counts = np.maximum((weights * size).astype(int), 1)
+        specs.append(
+            ClientSpec(cid, {int(c): int(k) for c, k in zip(classes, counts)})
+        )
+    return specs
+
+
+def shard_specs(
+    n_clients: int,
+    n_classes: int,
+    rng: np.random.Generator,
+    shards_per_client: int = 2,
+    shard_size: int = 150,
+) -> list[ClientSpec]:
+    """McMahan-style shards: each client holds a few single-class shards."""
+    if shards_per_client < 1 or shard_size < 1:
+        raise ValueError("shards_per_client and shard_size must be >= 1")
+    n_shards = n_clients * shards_per_client
+    shard_classes = rng.permutation(np.repeat(np.arange(n_classes), int(np.ceil(n_shards / n_classes))))[:n_shards]
+    specs: list[ClientSpec] = []
+    for cid in range(n_clients):
+        mine = shard_classes[cid * shards_per_client : (cid + 1) * shards_per_client]
+        counts: dict[int, int] = {}
+        for cls in mine:
+            counts[int(cls)] = counts.get(int(cls), 0) + shard_size
+        specs.append(ClientSpec(cid, counts))
+    return specs
+
+
+def dirichlet_specs(
+    n_clients: int,
+    n_classes: int,
+    rng: np.random.Generator,
+    alpha: float = 0.5,
+    size_range: tuple[int, int] = (200, 2000),
+) -> list[ClientSpec]:
+    """Label mixes drawn from ``Dirichlet(alpha)`` with random sizes."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    lo, hi = size_range
+    specs: list[ClientSpec] = []
+    for cid in range(n_clients):
+        size = int(rng.integers(lo, hi + 1))
+        mix = rng.dirichlet(np.full(n_classes, alpha))
+        counts = np.floor(mix * size).astype(int)
+        # Guarantee a non-empty client even for extreme draws.
+        if counts.sum() == 0:
+            counts[int(np.argmax(mix))] = 1
+        specs.append(
+            ClientSpec(
+                cid,
+                {int(c): int(k) for c, k in enumerate(counts) if k > 0},
+            )
+        )
+    return specs
+
+
+def materialize_clients(
+    generator: DataGenerator,
+    specs: list[ClientSpec],
+    rng: np.random.Generator,
+) -> list[ClientData]:
+    """Generate each client's local arrays from its spec."""
+    clients: list[ClientData] = []
+    for spec in specs:
+        x, y = generator.sample_mixed(spec.class_counts, rng)
+        clients.append(
+            ClientData(
+                client_id=spec.client_id,
+                x=x,
+                y=y,
+                n_classes_total=generator.n_classes,
+            )
+        )
+    return clients

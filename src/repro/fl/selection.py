@@ -1,0 +1,145 @@
+"""Client-selection strategies: RandFL, FixFL, FMore and psi-FMore.
+
+The paper compares three ways of choosing the K participants of each round
+(Section V-A):
+
+* **RandFL** — classic federated learning: K uniform-random nodes.
+* **FixFL** — a fixed set of K nodes chosen once (the degenerate baseline
+  whose limited data diversity hurts accuracy most).
+* **FMore** — the auction: nodes bid ``(q, p)`` at equilibrium, the top-K
+  scores win, and winners train with their *declared* resources.
+* **psi-FMore** — FMore with probabilistic admission down the sorted list.
+
+Every strategy implements :class:`SelectionStrategy` and returns a
+:class:`SelectionResult`; auction-based strategies also surface payments,
+scores and the raw :class:`~repro.core.auction.AuctionOutcome` so the
+benches can reproduce the paper's score-distribution and payment figures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.auction import AuctionOutcome
+from ..core.mechanism import BiddingAgent, FMoreMechanism
+
+__all__ = [
+    "SelectionResult",
+    "SelectionStrategy",
+    "RandomSelection",
+    "FixedSelection",
+    "AuctionSelection",
+]
+
+
+@dataclass
+class SelectionResult:
+    """Winners of one round plus the auction metadata (if any)."""
+
+    winner_ids: list[int]
+    declared_samples: dict[int, int] = field(default_factory=dict)
+    payments: dict[int, float] = field(default_factory=dict)
+    scores: dict[int, float] = field(default_factory=dict)
+    outcome: AuctionOutcome | None = None
+
+    @property
+    def total_payment(self) -> float:
+        return float(sum(self.payments.values()))
+
+
+class SelectionStrategy(ABC):
+    """Chooses the winner set W of each training round."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def select(self, round_index: int, rng: np.random.Generator) -> SelectionResult:
+        ...
+
+
+class RandomSelection(SelectionStrategy):
+    """RandFL: K nodes uniformly at random, fresh every round."""
+
+    name = "RandFL"
+
+    def __init__(self, client_ids: Sequence[int], k_winners: int):
+        if k_winners < 1:
+            raise ValueError("k_winners must be >= 1")
+        self.client_ids = list(client_ids)
+        self.k_winners = min(int(k_winners), len(self.client_ids))
+
+    def select(self, round_index: int, rng: np.random.Generator) -> SelectionResult:
+        chosen = rng.choice(self.client_ids, size=self.k_winners, replace=False)
+        return SelectionResult(winner_ids=[int(c) for c in chosen])
+
+
+class FixedSelection(SelectionStrategy):
+    """FixFL: the same K nodes every round (drawn once at construction)."""
+
+    name = "FixFL"
+
+    def __init__(self, client_ids: Sequence[int], k_winners: int, rng: np.random.Generator):
+        if k_winners < 1:
+            raise ValueError("k_winners must be >= 1")
+        ids = list(client_ids)
+        k = min(int(k_winners), len(ids))
+        self.fixed_ids = [int(c) for c in rng.choice(ids, size=k, replace=False)]
+
+    def select(self, round_index: int, rng: np.random.Generator) -> SelectionResult:
+        return SelectionResult(winner_ids=list(self.fixed_ids))
+
+
+class AuctionSelection(SelectionStrategy):
+    """FMore (and psi-FMore, via the mechanism's selection policy).
+
+    Parameters
+    ----------
+    mechanism:
+        The :class:`~repro.core.mechanism.FMoreMechanism` driving steps 1-3
+        (its auction may carry a :class:`~repro.core.psi.PsiSelection`).
+    agents:
+        The bidding agents, one per client, sharing ``node_id`` with the
+        corresponding :class:`~repro.fl.client.FLClient`.
+    quality_to_samples:
+        Maps a winner's declared quality vector to the number of local
+        samples it must train on (``None`` entries mean "all local data").
+        The default reads dimension 0 as a raw sample count.
+    """
+
+    name = "FMore"
+
+    def __init__(
+        self,
+        mechanism: FMoreMechanism,
+        agents: Sequence[BiddingAgent],
+        quality_to_samples: Callable[[np.ndarray], int] | None = None,
+    ):
+        self.mechanism = mechanism
+        self.agents = list(agents)
+        self.quality_to_samples = (
+            quality_to_samples
+            if quality_to_samples is not None
+            else (lambda q: int(round(q[0])))
+        )
+
+    def select(self, round_index: int, rng: np.random.Generator) -> SelectionResult:
+        record = self.mechanism.run_round(self.agents, round_index, rng)
+        outcome = record.outcome
+        winner_ids = outcome.winner_ids
+        declared = {
+            w.node_id: max(self.quality_to_samples(w.quality), 1)
+            for w in outcome.winners
+        }
+        payments = {w.node_id: w.charged_payment for w in outcome.winners}
+        scores = {w.node_id: w.score for w in outcome.winners}
+        return SelectionResult(
+            winner_ids=winner_ids,
+            declared_samples=declared,
+            payments=payments,
+            scores=scores,
+            outcome=outcome,
+        )

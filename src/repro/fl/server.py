@@ -1,0 +1,57 @@
+"""The aggregator's learning half: FedAvg global aggregation (Eq. 3).
+
+``w(t+1) = sum_i D_i w_i(t+1) / sum_i D_i`` — the data-size-weighted mean
+of the winners' local models.  The server also owns the global model and
+the held-out evaluation set the experiments report accuracy/loss on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .client import LocalUpdate
+from .nn import Sequential
+
+__all__ = ["FedAvgServer", "federated_average"]
+
+
+def federated_average(updates: list[LocalUpdate]) -> list[np.ndarray]:
+    """Data-size-weighted average of client weights (paper Eq. 3)."""
+    if not updates:
+        raise ValueError("cannot aggregate an empty update set")
+    total = float(sum(u.n_samples for u in updates))
+    if total <= 0:
+        # All contributors empty: fall back to an unweighted mean.
+        weights = [1.0 / len(updates)] * len(updates)
+    else:
+        weights = [u.n_samples / total for u in updates]
+    averaged = [np.zeros_like(p) for p in updates[0].weights]
+    for u, w in zip(updates, weights):
+        if len(u.weights) != len(averaged):
+            raise ValueError("updates disagree on parameter count")
+        for acc, param in zip(averaged, u.weights):
+            acc += w * param
+    return averaged
+
+
+class FedAvgServer:
+    """Owns the global model; broadcasts weights and aggregates updates."""
+
+    def __init__(self, global_model: Sequential):
+        self.model = global_model
+
+    def broadcast(self) -> list[np.ndarray]:
+        """Global weights ``w(t)`` shipped to this round's winners."""
+        return self.model.get_weights()
+
+    def aggregate(self, updates: list[LocalUpdate]) -> None:
+        """Install the FedAvg mean of ``updates`` as ``w(t+1)``."""
+        self.model.set_weights(federated_average(updates))
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """Return ``(loss, accuracy)`` of the current global model."""
+        return self.model.evaluate(x, y)
+
+    @property
+    def model_bytes(self) -> int:
+        return self.model.parameter_bytes

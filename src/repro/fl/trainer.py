@@ -1,0 +1,176 @@
+"""The federated training loop tying selection, clients and FedAvg together.
+
+One :class:`FederatedTrainer` run is one curve of the paper's figures: a
+scheme (RandFL / FixFL / FMore / psi-FMore) driving T rounds of
+select -> local train -> aggregate -> evaluate, with optional wall-clock
+accounting supplied by a :class:`RoundTimer` (the MEC cluster's timing
+model, for the "real-world" Figs 12-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .client import FLClient, LocalUpdate
+from .metrics import rounds_to_accuracy
+from .nn import Sequential
+from .selection import SelectionResult, SelectionStrategy
+from .server import FedAvgServer
+
+__all__ = ["RoundTimer", "RoundRecord", "TrainingHistory", "FederatedTrainer"]
+
+
+class RoundTimer(Protocol):
+    """Computes the simulated wall-clock duration of one round."""
+
+    def round_time(
+        self,
+        winner_ids: Sequence[int],
+        declared_samples: dict[int, int],
+        model_bytes: int,
+        local_epochs: int,
+    ) -> float:
+        ...
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one training round."""
+
+    round_index: int
+    accuracy: float
+    loss: float
+    winner_ids: list[int]
+    total_payment: float
+    scores: dict[int, float] = field(default_factory=dict)
+    winner_ranks: dict[int, int] = field(default_factory=dict)
+    all_scores: list[float] = field(default_factory=list)
+    mean_train_loss: float = 0.0
+    round_seconds: float = 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-round series for one scheme — the unit the figures plot."""
+
+    scheme: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> list[float]:
+        return [r.accuracy for r in self.records]
+
+    @property
+    def losses(self) -> list[float]:
+        return [r.loss for r in self.records]
+
+    @property
+    def cumulative_seconds(self) -> list[float]:
+        total = 0.0
+        out: list[float] = []
+        for r in self.records:
+            total += r.round_seconds
+            out.append(total)
+        return out
+
+    @property
+    def total_payment(self) -> float:
+        return float(sum(r.total_payment for r in self.records))
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1].accuracy if self.records else 0.0
+
+    def rounds_to(self, target_accuracy: float) -> int | None:
+        return rounds_to_accuracy(self.accuracies, target_accuracy)
+
+    def winner_counts(self) -> dict[int, int]:
+        """How often each node won — Fig 11b's selection-proportion data."""
+        counts: dict[int, int] = {}
+        for r in self.records:
+            for w in r.winner_ids:
+                counts[w] = counts.get(w, 0) + 1
+        return counts
+
+
+class FederatedTrainer:
+    """Run ``n_rounds`` of federated learning under one selection scheme."""
+
+    def __init__(
+        self,
+        server: FedAvgServer,
+        clients: Sequence[FLClient],
+        selection: SelectionStrategy,
+        test_x: np.ndarray,
+        test_y: np.ndarray,
+        rng: np.random.Generator,
+        timer: RoundTimer | None = None,
+    ):
+        self.server = server
+        self.clients = {c.client_id: c for c in clients}
+        if len(self.clients) != len(clients):
+            raise ValueError("duplicate client ids")
+        self.selection = selection
+        self.test_x = test_x
+        self.test_y = test_y
+        self.rng = rng
+        self.timer = timer
+        # One scratch replica shared across clients: weights are overwritten
+        # before every local run, so no state can leak between clients.
+        self._scratch = server.model.clone_architecture(rng)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        sel: SelectionResult = self.selection.select(round_index, self.rng)
+        global_weights = self.server.broadcast()
+        updates: list[LocalUpdate] = []
+        local_epochs = 1
+        for wid in sel.winner_ids:
+            client = self.clients[wid]
+            local_epochs = client.local_epochs
+            declared = sel.declared_samples.get(wid)
+            updates.append(
+                client.train(self._scratch, global_weights, self.rng, declared)
+            )
+        if updates:
+            self.server.aggregate(updates)
+        loss, accuracy = self.server.evaluate(self.test_x, self.test_y)
+        seconds = 0.0
+        if self.timer is not None:
+            seconds = self.timer.round_time(
+                sel.winner_ids,
+                {u.client_id: u.n_samples for u in updates},
+                self.server.model_bytes,
+                local_epochs,
+            )
+        winner_ranks: dict[int, int] = {}
+        all_scores: list[float] = []
+        if sel.outcome is not None:
+            positions = {
+                sb.node_id: pos for pos, sb in enumerate(sel.outcome.scored_bids)
+            }
+            winner_ranks = {wid: positions[wid] for wid in sel.winner_ids if wid in positions}
+            all_scores = [sb.score for sb in sel.outcome.scored_bids]
+        return RoundRecord(
+            round_index=round_index,
+            accuracy=accuracy,
+            loss=loss,
+            winner_ids=list(sel.winner_ids),
+            total_payment=sel.total_payment,
+            scores=dict(sel.scores),
+            winner_ranks=winner_ranks,
+            all_scores=all_scores,
+            mean_train_loss=float(np.mean([u.train_loss for u in updates])) if updates else 0.0,
+            round_seconds=float(seconds),
+        )
+
+    def run(self, n_rounds: int) -> TrainingHistory:
+        """Algorithm 1's outer loop: ``n_rounds`` rounds of train+aggregate."""
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        history = TrainingHistory(scheme=self.selection.name)
+        for t in range(1, n_rounds + 1):
+            history.records.append(self.run_round(t))
+        return history

@@ -1,0 +1,40 @@
+"""Mobile-edge-computing substrate: resources, nodes, network, cluster.
+
+Models the environment FMore operates in — heterogeneous, dynamic edge
+resources (Section II-A) and the 32-node testbed of the real-world
+experiments (Section V-C).
+"""
+
+from .cluster import (
+    ClusterNodeSpec,
+    SimulatedCluster,
+    build_cluster_specs,
+    cluster_quality_extractor,
+)
+from .network import Link, duplex_transfer_time
+from .node import EdgeNode, default_quality_extractor
+from .resources import (
+    RandomWalkDynamics,
+    ResourceDynamics,
+    ResourceProfile,
+    StaticDynamics,
+    UniformAvailabilityDynamics,
+)
+from .timing import ComputeModel
+
+__all__ = [
+    "ResourceProfile",
+    "ResourceDynamics",
+    "StaticDynamics",
+    "UniformAvailabilityDynamics",
+    "RandomWalkDynamics",
+    "EdgeNode",
+    "default_quality_extractor",
+    "Link",
+    "duplex_transfer_time",
+    "ComputeModel",
+    "ClusterNodeSpec",
+    "SimulatedCluster",
+    "build_cluster_specs",
+    "cluster_quality_extractor",
+]

@@ -1,0 +1,41 @@
+"""Link model: parameter-transfer times between nodes and the aggregator.
+
+The real deployment connects 32 machines through a 1 Gbps switch; the
+simulated cluster reproduces its communication component with a simple
+store-and-forward model: ``transfer_time = latency + bytes / rate``.
+Per-node bandwidth heterogeneity (the ``q`` bandwidth dimension the
+real-world scoring function prices) enters through the node's profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link", "duplex_transfer_time"]
+
+BITS_PER_BYTE = 8
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with a rate cap and propagation latency."""
+
+    bandwidth_mbps: float
+    latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds to push ``n_bytes`` through the link."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return self.latency_s + (n_bytes * BITS_PER_BYTE) / (self.bandwidth_mbps * 1e6)
+
+
+def duplex_transfer_time(link: Link, down_bytes: int, up_bytes: int) -> float:
+    """Download-then-upload time for one FL round's model exchange."""
+    return link.transfer_time(down_bytes) + link.transfer_time(up_bytes)

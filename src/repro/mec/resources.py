@@ -1,0 +1,115 @@
+"""Edge-node resources and their round-to-round dynamics.
+
+Section II-A: edge nodes hold *dynamic*, *multi-dimensional*, *constrained*
+resources — local data, bandwidth, CPU — because federated learning
+competes with their other tasks.  A :class:`ResourceProfile` is a node's
+nominal endowment; a :class:`ResourceDynamics` process yields the fraction
+of it actually available in a given round ("nodes randomly choose different
+quantities of resources in each round of training", Section V-A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "ResourceProfile",
+    "ResourceDynamics",
+    "StaticDynamics",
+    "UniformAvailabilityDynamics",
+    "RandomWalkDynamics",
+]
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """A node's endowment across the resource types the paper considers."""
+
+    data_size: int                 # local training samples held
+    category_proportion: float     # fraction of label classes present (q2)
+    bandwidth_mbps: float = 100.0  # link rate to the aggregator
+    cpu_cores: int = 4             # compute capability
+    compute_rate: float = 2000.0   # training samples processed per second
+
+    def __post_init__(self) -> None:
+        if self.data_size < 0:
+            raise ValueError("data_size must be non-negative")
+        if not (0.0 <= self.category_proportion <= 1.0):
+            raise ValueError("category_proportion must lie in [0, 1]")
+        if self.bandwidth_mbps <= 0 or self.compute_rate <= 0:
+            raise ValueError("bandwidth and compute rate must be positive")
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+
+    def scaled(self, fraction: float) -> "ResourceProfile":
+        """The profile with ``fraction`` of data/bandwidth/compute available."""
+        f = float(np.clip(fraction, 0.0, 1.0))
+        return replace(
+            self,
+            data_size=int(round(self.data_size * f)),
+            bandwidth_mbps=max(self.bandwidth_mbps * f, 1e-6),
+            compute_rate=max(self.compute_rate * f, 1e-6),
+        )
+
+
+class ResourceDynamics(ABC):
+    """Stochastic process producing per-round available resources."""
+
+    @abstractmethod
+    def availability(
+        self, base: ResourceProfile, round_index: int, rng: np.random.Generator
+    ) -> ResourceProfile:
+        """The resources actually offerable this round (<= base)."""
+
+
+class StaticDynamics(ResourceDynamics):
+    """Resources never change — the 'relatively stable' regime of III-C."""
+
+    def availability(self, base, round_index, rng):
+        return base
+
+
+class UniformAvailabilityDynamics(ResourceDynamics):
+    """Each round an independent fraction in ``[min_fraction, 1]`` is free."""
+
+    def __init__(self, min_fraction: float = 0.5):
+        if not (0.0 < min_fraction <= 1.0):
+            raise ValueError("min_fraction must lie in (0, 1]")
+        self.min_fraction = float(min_fraction)
+
+    def availability(self, base, round_index, rng):
+        return base.scaled(rng.uniform(self.min_fraction, 1.0))
+
+
+class RandomWalkDynamics(ResourceDynamics):
+    """Available fraction follows a bounded random walk (smooth dynamics).
+
+    Captures nodes whose background load drifts over time rather than
+    re-rolling independently; state is kept per-instance, so give each node
+    its own object.
+    """
+
+    def __init__(self, step: float = 0.1, min_fraction: float = 0.3):
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not (0.0 < min_fraction < 1.0):
+            raise ValueError("min_fraction must lie in (0, 1)")
+        self.step = float(step)
+        self.min_fraction = float(min_fraction)
+        self._fraction: float | None = None
+
+    def availability(self, base, round_index, rng):
+        if self._fraction is None:
+            self._fraction = rng.uniform(self.min_fraction, 1.0)
+        else:
+            self._fraction = float(
+                np.clip(
+                    self._fraction + rng.uniform(-self.step, self.step),
+                    self.min_fraction,
+                    1.0,
+                )
+            )
+        return base.scaled(self._fraction)

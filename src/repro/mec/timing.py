@@ -1,0 +1,48 @@
+"""Computation-time model for local training at edge nodes.
+
+Local training cost scales with ``samples x epochs`` divided by the node's
+effective compute rate, which grows with CPU cores (the paper tunes
+"computing power ... by the number of CPU cores").  Parallel efficiency is
+sublinear in cores, as in real data-parallel training on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComputeModel"]
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Seconds of local training as a function of work and capability.
+
+    ``base_rate`` is samples/second on a single core (calibrated to CNN
+    training on a desktop i7, the paper's testbed: ~10^2 samples/s);
+    ``core_exponent`` (< 1) models diminishing returns of multi-core
+    speedup; ``overhead_s`` covers process startup / data loading per round.
+    """
+
+    base_rate: float = 120.0
+    core_exponent: float = 0.8
+    overhead_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if not (0.0 < self.core_exponent <= 1.0):
+            raise ValueError("core_exponent must lie in (0, 1]")
+        if self.overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+
+    def effective_rate(self, cpu_cores: int) -> float:
+        """Samples/second with ``cpu_cores`` cores (sublinear scaling)."""
+        if cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        return self.base_rate * float(cpu_cores) ** self.core_exponent
+
+    def training_time(self, n_samples: int, epochs: int, cpu_cores: int) -> float:
+        """Seconds to run ``epochs`` passes over ``n_samples`` locally."""
+        if n_samples < 0 or epochs < 0:
+            raise ValueError("n_samples and epochs must be non-negative")
+        return self.overhead_s + (n_samples * epochs) / self.effective_rate(cpu_cores)

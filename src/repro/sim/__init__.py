@@ -1,0 +1,41 @@
+"""Experiment harness: configs, builders, multi-seed runners, reporting."""
+
+from .config import PRESET_NAMES, AuctionConfig, ExperimentConfig, preset
+from .experiment import (
+    SCHEMES,
+    Federation,
+    build_agents,
+    build_federation,
+    build_selection,
+    build_solver,
+    run_comparison,
+    run_scheme,
+)
+from .reporting import ascii_table, fmt, paper_vs_measured, series_table
+from .rng import rng_from, spawn_rngs
+from .runner import SeriesStats, average_histories, averaged_comparison, run_seeds
+
+__all__ = [
+    "AuctionConfig",
+    "ExperimentConfig",
+    "preset",
+    "PRESET_NAMES",
+    "SCHEMES",
+    "Federation",
+    "build_federation",
+    "build_solver",
+    "build_agents",
+    "build_selection",
+    "run_scheme",
+    "run_comparison",
+    "SeriesStats",
+    "average_histories",
+    "run_seeds",
+    "averaged_comparison",
+    "ascii_table",
+    "series_table",
+    "paper_vs_measured",
+    "fmt",
+    "rng_from",
+    "spawn_rngs",
+]

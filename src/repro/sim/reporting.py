@@ -1,0 +1,82 @@
+"""ASCII reporting: the tables and series the benchmark harness prints.
+
+Each benchmark regenerates a paper figure as a printed table — the same
+rows/series the figure plots — plus a paper-vs-measured block recorded in
+EXPERIMENTS.md.  Only standard-library string formatting is used so reports
+render identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["fmt", "ascii_table", "series_table", "paper_vs_measured"]
+
+
+def fmt(value, precision: int = 4) -> str:
+    """Human-friendly numeric formatting (None -> 'n/a')."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width table with a rule under the header."""
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width must match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    index_name: str,
+    index: Sequence[object],
+    columns: Mapping[str, Sequence[object]],
+) -> str:
+    """A per-round series table: one index column plus one column per curve."""
+    headers = [index_name] + list(columns)
+    rows = []
+    for i, idx in enumerate(index):
+        row: list[object] = [idx]
+        for name in columns:
+            col = columns[name]
+            row.append(col[i] if i < len(col) else None)
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def paper_vs_measured(
+    rows: Sequence[tuple[str, object, object]],
+    title: str = "paper vs measured",
+) -> str:
+    """The EXPERIMENTS.md block: metric, paper's value, our value."""
+    return ascii_table(
+        ["metric", "paper", "measured"],
+        [(m, p, v) for (m, p, v) in rows],
+        title=title,
+    )

@@ -1,0 +1,78 @@
+"""Multi-seed experiment running and series averaging.
+
+"All the results are the average of five experiments" (Section V-A); this
+module runs a configuration over several seeds and averages the per-round
+series, exposing mean and standard deviation for each curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fl.trainer import TrainingHistory
+from .config import ExperimentConfig
+from .experiment import run_comparison
+
+__all__ = ["SeriesStats", "average_histories", "run_seeds", "averaged_comparison"]
+
+
+@dataclass
+class SeriesStats:
+    """Mean/std of a per-round metric across repeated runs."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.mean.size)
+
+
+def _stack(histories: list[TrainingHistory], attr: str) -> np.ndarray:
+    series = [np.asarray(getattr(h, attr), dtype=float) for h in histories]
+    lengths = {s.size for s in series}
+    if len(lengths) != 1:
+        raise ValueError("histories must have equal length to be averaged")
+    return np.stack(series)
+
+
+def average_histories(histories: list[TrainingHistory]) -> dict[str, SeriesStats]:
+    """Per-round mean/std of accuracy, loss and cumulative time."""
+    if not histories:
+        raise ValueError("need at least one history")
+    out: dict[str, SeriesStats] = {}
+    for attr, key in (
+        ("accuracies", "accuracy"),
+        ("losses", "loss"),
+        ("cumulative_seconds", "cumulative_seconds"),
+    ):
+        data = _stack(histories, attr)
+        out[key] = SeriesStats(mean=data.mean(axis=0), std=data.std(axis=0))
+    return out
+
+
+def run_seeds(
+    cfg: ExperimentConfig,
+    schemes: tuple[str, ...],
+    seeds: tuple[int, ...],
+    timer=None,
+) -> dict[str, list[TrainingHistory]]:
+    """Repeat :func:`run_comparison` across seeds, grouped by scheme."""
+    grouped: dict[str, list[TrainingHistory]] = {s: [] for s in schemes}
+    for seed in seeds:
+        results = run_comparison(cfg, schemes, seed, timer=timer)
+        for scheme, history in results.items():
+            grouped[scheme].append(history)
+    return grouped
+
+
+def averaged_comparison(
+    cfg: ExperimentConfig,
+    schemes: tuple[str, ...],
+    seeds: tuple[int, ...],
+    timer=None,
+) -> dict[str, dict[str, SeriesStats]]:
+    """Seed-averaged accuracy/loss/time series for each scheme."""
+    grouped = run_seeds(cfg, schemes, seeds, timer=timer)
+    return {scheme: average_histories(h) for scheme, h in grouped.items()}

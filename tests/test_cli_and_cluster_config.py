@@ -1,0 +1,87 @@
+"""Tests for the CLI entry point and the cluster experiment config."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.sim.cluster_experiment import (
+    ClusterConfig,
+    build_cluster_environment,
+    run_cluster_comparison,
+)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper_setup(self):
+        cfg = ClusterConfig()
+        assert cfg.n_nodes == 31          # 32 machines minus the aggregator
+        assert cfg.score_weights == (0.4, 0.3, 0.3)
+        assert cfg.dataset == "cifar10"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=5, k_winners=6)
+        with pytest.raises(ValueError):
+            ClusterConfig(size_range=(0, 10))
+
+
+class TestClusterEnvironment:
+    @pytest.fixture(scope="class")
+    def env(self):
+        cfg = ClusterConfig(
+            n_nodes=6, k_winners=2, n_rounds=2, size_range=(30, 80),
+            test_per_class=4, model_width=0.12,
+        )
+        return cfg, build_cluster_environment(cfg, seed=0)
+
+    def test_one_agent_per_client(self, env):
+        cfg, e = env
+        assert len(e.agents) == cfg.n_nodes
+        assert len(e.clients_data) == cfg.n_nodes
+        agent_ids = {a.node_id for a in e.agents}
+        client_ids = {c.client_id for c in e.clients_data}
+        assert agent_ids == client_ids
+
+    def test_cluster_profiles_match_client_data(self, env):
+        _, e = env
+        for c in e.clients_data:
+            assert e.cluster.specs[c.client_id].profile.data_size == c.size
+
+    def test_quality_extractor_in_unit_box(self, env):
+        _, e = env
+        rng = np.random.default_rng(0)
+        for agent in e.agents:
+            q = agent.quality_extractor(agent.profile)
+            assert np.all(q >= 0.0) and np.all(q <= 1.0)
+
+    def test_unknown_scheme_rejected(self):
+        cfg = ClusterConfig(
+            n_nodes=4, k_winners=2, n_rounds=1, size_range=(20, 40),
+            test_per_class=2, model_width=0.12,
+        )
+        with pytest.raises(ValueError):
+            run_cluster_comparison(cfg, ("Oracle",), seed=0)
+
+    def test_fixfl_scheme_supported(self):
+        cfg = ClusterConfig(
+            n_nodes=4, k_winners=2, n_rounds=1, size_range=(20, 40),
+            test_per_class=2, model_width=0.12,
+        )
+        results = run_cluster_comparison(cfg, ("FixFL",), seed=0)
+        assert len(results["FixFL"].records) == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compare" in out
+
+    def test_sweep_k(self, capsys):
+        assert main(["sweep-k", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "payment" in out and "score" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dance"])

@@ -1,0 +1,241 @@
+"""Tests for the equilibrium machinery: Che Thm 1/2, paper Thm 1, Prop 1/3.
+
+The strongest checks are the cross-validations:
+* K=1 payments from the score-space machinery must equal Che's Theorem 2
+  type-space closed form,
+* K=2 must equal Proposition 1 (the paper's Eq. 9 kernel collapses to
+  H^{N-2} there),
+* the three numerical backends must agree with each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import LinearCost, QuadraticCost
+from repro.core.equilibrium import EquilibriumSolver, optimize_quality, win_kernel
+from repro.core.scoring import AdditiveScore, CobbDouglasScore, MultiplicativeScore
+from repro.core.valuation import PrivateValueModel, UniformTheta
+
+
+class TestWinKernel:
+    def test_k1_paper_equals_exact(self):
+        h = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_allclose(
+            win_kernel(h, 10, 1, "paper"), win_kernel(h, 10, 1, "exact")
+        )
+
+    def test_k1_is_h_power_n_minus_1(self):
+        h = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_allclose(win_kernel(h, 7, 1, "paper"), h ** 6)
+
+    def test_k2_paper_collapses_to_h_power_n_minus_2(self):
+        # H^{N-1} + (1-H)H^{N-2} = H^{N-2}: Proposition 1's simplification.
+        h = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_allclose(win_kernel(h, 9, 2, "paper"), h ** 7, atol=1e-12)
+
+    def test_exact_kernel_is_probability(self):
+        h = np.linspace(0.0, 1.0, 101)
+        for k in (1, 3, 7):
+            g = win_kernel(h, 10, k, "exact")
+            assert np.all(g >= -1e-12) and np.all(g <= 1.0 + 1e-12)
+
+    def test_exact_kernel_boundary_values(self):
+        # H=1: certain win (all others below). H=0 with K<N: certain loss.
+        assert win_kernel(1.0, 10, 3, "exact") == pytest.approx(1.0)
+        assert win_kernel(0.0, 10, 3, "exact") == pytest.approx(0.0)
+
+    def test_exact_kernel_matches_monte_carlo(self):
+        # Being among the top K of N iid uniforms.
+        rng = np.random.default_rng(0)
+        n, k = 8, 3
+        h = 0.6  # our score beats a competitor w.p. 0.6
+        wins = 0
+        trials = 20000
+        for _ in range(trials):
+            better = np.sum(rng.random(n - 1) > h)
+            wins += better <= k - 1
+        mc = wins / trials
+        assert win_kernel(h, n, k, "exact") == pytest.approx(mc, abs=0.02)
+
+    def test_k_equal_n_exact_always_wins(self):
+        h = np.linspace(0.0, 1.0, 21)
+        np.testing.assert_allclose(win_kernel(h, 5, 5, "exact"), np.ones(21))
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            win_kernel(0.5, 5, 2, "bogus")
+        with pytest.raises(ValueError):
+            win_kernel(0.5, 5, 6, "paper")
+
+
+class TestOptimizeQuality:
+    def test_additive_quadratic_closed_form(self):
+        # q_j* = alpha_j / (2 theta beta_j).
+        rule = AdditiveScore([0.5, 1.0])
+        cost = QuadraticCost([1.0, 2.0])
+        bounds = np.array([[0.0, 10.0], [0.0, 10.0]])
+        q = optimize_quality(rule, cost, 0.25, bounds)
+        np.testing.assert_allclose(q, [1.0, 1.0])
+
+    def test_additive_quadratic_respects_bounds(self):
+        rule = AdditiveScore([10.0, 10.0])
+        cost = QuadraticCost([1.0, 1.0])
+        bounds = np.array([[0.0, 1.0], [0.0, 1.0]])
+        q = optimize_quality(rule, cost, 0.1, bounds)
+        np.testing.assert_allclose(q, [1.0, 1.0])  # interior optimum clipped
+
+    def test_additive_linear_bang_bang(self):
+        rule = AdditiveScore([0.5, 0.5])
+        cost = LinearCost([1.0, 0.2])
+        bounds = np.array([[0.0, 2.0], [0.0, 2.0]])
+        q = optimize_quality(rule, cost, 0.8, bounds)
+        # dim 0: 0.5 < 0.8*1.0 -> lo; dim 1: 0.5 > 0.8*0.2 -> hi.
+        np.testing.assert_allclose(q, [0.0, 2.0])
+
+    def test_numeric_fallback_beats_midpoint(self):
+        rule = CobbDouglasScore([0.5, 0.5], scale=4.0)
+        cost = LinearCost([1.0, 1.0])
+        bounds = np.array([[0.01, 3.0], [0.01, 3.0]])
+        q = optimize_quality(rule, cost, 0.5, bounds)
+        mid = np.array([1.5, 1.5])
+        value_q = rule.value(q) - cost.cost(q, 0.5)
+        value_mid = rule.value(mid) - cost.cost(mid, 0.5)
+        assert value_q >= value_mid - 1e-9
+
+    def test_monotone_decreasing_in_theta(self):
+        rule = AdditiveScore([1.0])
+        cost = QuadraticCost([1.0])
+        bounds = np.array([[0.0, 100.0]])
+        q_low = optimize_quality(rule, cost, 0.2, bounds)
+        q_high = optimize_quality(rule, cost, 0.9, bounds)
+        assert q_low[0] > q_high[0]
+
+    def test_rejects_bad_bounds(self):
+        rule = AdditiveScore([1.0, 1.0])
+        cost = QuadraticCost([1.0, 1.0])
+        with pytest.raises(ValueError):
+            optimize_quality(rule, cost, 0.5, np.array([[0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            optimize_quality(rule, cost, 0.5, np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+
+class TestEquilibriumSolver:
+    def test_quality_interpolation_matches_closed_form(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        for theta in (0.15, 0.4, 0.85):
+            expected = 0.5 / (2.0 * theta)  # alpha/(2 theta beta)
+            q = s.optimal_quality(theta)
+            assert q[0] == pytest.approx(min(expected, 10.0), rel=1e-3)
+            assert q[1] == pytest.approx(min(expected, 1.0), rel=1e-3)
+
+    def test_max_score_decreasing_in_theta(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        thetas = np.linspace(0.1, 1.0, 13)
+        u = [s.max_score(float(t)) for t in thetas]
+        assert all(a >= b - 1e-9 for a, b in zip(u, u[1:]))
+
+    def test_score_cdf_boundaries(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        assert s.score_cdf(s.u_incr[0] - 1.0) == pytest.approx(0.0)
+        assert s.score_cdf(s.u_incr[-1] + 1.0) == pytest.approx(1.0)
+
+    def test_k1_matches_che_theorem_2(self, single_winner_solver):
+        s = single_winner_solver
+        for theta in (0.15, 0.3, 0.5, 0.8):
+            assert s.payment(theta) == pytest.approx(
+                s.payment_che_closed_form(theta), rel=2e-3
+            )
+
+    def test_k2_matches_proposition_1(self):
+        rule = AdditiveScore([0.5, 0.5])
+        cost = QuadraticCost([1.0, 1.0])
+        model = PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=9, k_winners=2)
+        s = EquilibriumSolver(rule, cost, model, [[0, 10], [0, 1]], grid_size=257)
+        for theta in (0.2, 0.5, 0.8):
+            assert s.payment(theta) == pytest.approx(
+                s.payment_che_closed_form(theta), rel=2e-3
+            )
+
+    def test_backends_agree(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        for theta in (0.2, 0.6):
+            quad = s.payment(theta, method="quadrature")
+            euler = s.payment(theta, method="euler")
+            rk4 = s.payment(theta, method="rk4")
+            assert euler == pytest.approx(quad, rel=5e-3)
+            assert rk4 == pytest.approx(quad, rel=5e-3)
+
+    def test_payment_covers_cost(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        for theta in np.linspace(0.1, 1.0, 10):
+            q = s.optimal_quality(float(theta))
+            assert s.payment(float(theta)) >= s.cost.cost(q, float(theta)) - 1e-9
+
+    def test_worst_type_has_zero_margin(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        assert s.margin(1.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_margin_decreasing_in_theta(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        margins = [s.margin(float(t)) for t in np.linspace(0.1, 1.0, 12)]
+        assert all(a >= b - 1e-9 for a, b in zip(margins, margins[1:]))
+
+    def test_equilibrium_score_below_max_score(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        for theta in (0.15, 0.5, 0.9):
+            assert s.equilibrium_score(theta) <= s.max_score(theta) + 1e-12
+
+    def test_bid_with_capacity_caps_quality(self, multiplicative_solver):
+        s = multiplicative_solver
+        cap = np.array([0.5, 0.3])
+        q, p = s.bid_with_capacity(0.2, cap)
+        assert np.all(q <= cap + 1e-12)
+        assert p >= s.cost.cost(q, 0.2) - 1e-9
+
+    def test_bid_with_capacity_unbinding_equals_bid(self, multiplicative_solver):
+        s = multiplicative_solver
+        cap = np.array([100.0, 100.0])
+        q_cap, p_cap = s.bid_with_capacity(0.3, cap)
+        q, p = s.bid(0.3)
+        np.testing.assert_allclose(q_cap, q)
+        assert p_cap == pytest.approx(p)
+
+    def test_with_population_changes_kernel_only(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        s2 = s.with_population(n_nodes=50)
+        np.testing.assert_allclose(s2.quality_grid, s.quality_grid)
+        assert s2.model.n_nodes == 50
+        # More competition -> lower margin for a competitive type.
+        assert s2.margin(0.2) <= s.margin(0.2) + 1e-12
+
+    def test_theorem2_profit_decreasing_in_n(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        profits = [
+            s.with_population(n_nodes=n).expected_profit(0.3) for n in (5, 10, 20, 40)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(profits, profits[1:]))
+
+    def test_theorem3_profit_increasing_in_k(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        profits = [
+            s.with_population(k_winners=k).expected_profit(0.5) for k in (1, 3, 5, 8)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(profits, profits[1:]))
+
+    def test_rejects_theta_outside_support(self, additive_quadratic_solver):
+        with pytest.raises(ValueError):
+            additive_quadratic_solver.payment(2.0)
+
+    def test_rejects_unknown_win_model(self):
+        rule = AdditiveScore([1.0])
+        cost = QuadraticCost([1.0])
+        model = PrivateValueModel(UniformTheta(0.1, 1.0), 5, 1)
+        with pytest.raises(ValueError):
+            EquilibriumSolver(rule, cost, model, [[0, 1]], win_model="nope")
+
+    def test_rejects_dimension_mismatch(self):
+        rule = AdditiveScore([1.0, 1.0])
+        cost = QuadraticCost([1.0])
+        model = PrivateValueModel(UniformTheta(0.1, 1.0), 5, 1)
+        with pytest.raises(ValueError):
+            EquilibriumSolver(rule, cost, model, [[0, 1], [0, 1]])

@@ -1,0 +1,101 @@
+"""Tests for the sim experiment builders (federation, solver, selection)."""
+
+import numpy as np
+import pytest
+
+from repro.fl.selection import AuctionSelection, FixedSelection, RandomSelection
+from repro.sim import (
+    build_agents,
+    build_federation,
+    build_selection,
+    build_solver,
+    preset,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return preset("smoke", "mnist_o")
+
+
+@pytest.fixture(scope="module")
+def federation(cfg):
+    return build_federation(cfg, seed=4)
+
+
+class TestBuildFederation:
+    def test_counts(self, cfg, federation):
+        assert federation.n_clients == cfg.n_clients
+        assert federation.thetas.shape == (cfg.n_clients,)
+        assert federation.test_x.shape[0] == cfg.test_per_class * 10
+
+    def test_deterministic_given_seed(self, cfg, federation):
+        again = build_federation(cfg, seed=4)
+        np.testing.assert_array_equal(again.thetas, federation.thetas)
+        np.testing.assert_array_equal(again.test_y, federation.test_y)
+        for a, b in zip(again.clients_data, federation.clients_data):
+            np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seed_different_data(self, cfg, federation):
+        other = build_federation(cfg, seed=5)
+        assert not np.allclose(other.thetas, federation.thetas)
+
+    def test_thetas_within_support(self, cfg, federation):
+        assert federation.thetas.min() >= cfg.auction.theta_lo
+        assert federation.thetas.max() <= cfg.auction.theta_hi
+
+    def test_sizes_within_config_range(self, cfg, federation):
+        lo, hi = cfg.size_range
+        for c in federation.clients_data:
+            assert c.size <= hi * 1.1  # rounding slack
+            assert c.size >= 1
+
+
+class TestBuildSolver:
+    def test_bounds_follow_size_range(self, cfg):
+        solver = build_solver(cfg)
+        hi_q1 = cfg.size_range[1] / 1000.0
+        assert solver.quality_bounds[0, 1] == pytest.approx(hi_q1)
+        assert solver.quality_bounds[1, 1] == pytest.approx(1.0)
+
+    def test_population_overrides(self, cfg):
+        solver = build_solver(cfg, n_clients=77, k_winners=9)
+        assert solver.model.n_nodes == 77
+        assert solver.model.k_winners == 9
+
+
+class TestBuildAgents:
+    def test_capacity_matches_client_data(self, cfg, federation):
+        solver = build_solver(cfg)
+        agents = build_agents(cfg, federation, solver)
+        for agent, data in zip(agents, federation.clients_data):
+            assert agent.node_id == data.client_id
+            assert agent.profile.data_size == data.size
+
+    def test_theta_jitter_wired(self, cfg, federation):
+        solver = build_solver(cfg)
+        agents = build_agents(cfg, federation, solver)
+        assert all(a.theta_jitter == cfg.theta_jitter for a in agents)
+
+
+class TestBuildSelection:
+    def test_scheme_types(self, cfg, federation):
+        assert isinstance(
+            build_selection(cfg, "RandFL", federation, 0), RandomSelection
+        )
+        assert isinstance(build_selection(cfg, "FixFL", federation, 0), FixedSelection)
+        solver = build_solver(cfg)
+        fmore = build_selection(cfg, "FMore", federation, 0, solver=solver)
+        assert isinstance(fmore, AuctionSelection)
+        assert fmore.name == "FMore"
+        psi = build_selection(cfg, "PsiFMore", federation, 0, solver=solver)
+        assert psi.name == "PsiFMore"
+
+    def test_unknown_scheme(self, cfg, federation):
+        with pytest.raises(ValueError):
+            build_selection(cfg, "Oracle", federation, 0)
+
+    def test_quality_to_samples_scale(self, cfg, federation):
+        solver = build_solver(cfg)
+        sel = build_selection(cfg, "FMore", federation, 0, solver=solver)
+        assert sel.quality_to_samples(np.array([1.2, 0.5])) == 1200

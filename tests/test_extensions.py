@@ -1,0 +1,233 @@
+"""Tests for the paper-motivated extensions: blacklist, budget, per-node psi.
+
+These cover the enforcement assumption of Sections II-A/III-A (blacklist),
+the budget constraint the conclusion defers to future work, the per-node
+psi open question — and Proposition 2 (psi neutrality under identical
+types), which needs the full auction pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdditiveScore,
+    Bid,
+    Blacklist,
+    BudgetedAuction,
+    DeliveryReport,
+    MultiDimensionalProcurementAuction,
+    PerNodePsiSelection,
+    PsiSelection,
+    audit_round,
+)
+
+
+def run_simple_auction(bids, k, rng, selection=None):
+    auction = MultiDimensionalProcurementAuction(
+        AdditiveScore([1.0]), k, selection=selection
+    )
+    return auction.run(bids, rng)
+
+
+class TestBlacklist:
+    def make_outcome(self, rng):
+        bids = [Bid(i, np.array([float(10 - i)]), 1.0) for i in range(4)]
+        return run_simple_auction(bids, 2, rng)
+
+    def test_full_delivery_no_violation(self, rng):
+        outcome = self.make_outcome(rng)
+        bl = Blacklist()
+        reports = {
+            w.node_id: DeliveryReport(w.node_id, w.quality) for w in outcome.winners
+        }
+        assert audit_round(outcome, reports, bl, 1) == []
+        assert not bl.banned
+
+    def test_under_delivery_files_violation(self, rng):
+        outcome = self.make_outcome(rng)
+        bl = Blacklist(strikes_to_ban=1)
+        reports = {
+            w.node_id: DeliveryReport(w.node_id, w.quality * 0.5)
+            for w in outcome.winners
+        }
+        violations = audit_round(outcome, reports, bl, 1)
+        assert len(violations) == 2
+        for w in outcome.winners:
+            assert bl.is_banned(w.node_id)
+
+    def test_missing_report_counts_as_nothing(self, rng):
+        outcome = self.make_outcome(rng)
+        bl = Blacklist(strikes_to_ban=1)
+        violations = audit_round(outcome, {}, bl, 1)
+        assert {v.node_id for v in violations} == set(outcome.winner_ids)
+        assert all(v.shortfall == pytest.approx(1.0) for v in violations)
+
+    def test_tolerance_forgives_small_shortfall(self, rng):
+        outcome = self.make_outcome(rng)
+        bl = Blacklist(tolerance=0.10)
+        reports = {
+            w.node_id: DeliveryReport(w.node_id, w.quality * 0.95)
+            for w in outcome.winners
+        }
+        assert audit_round(outcome, reports, bl, 1) == []
+
+    def test_strike_policy(self, rng):
+        outcome = self.make_outcome(rng)
+        bl = Blacklist(strikes_to_ban=2)
+        bad_reports = {
+            w.node_id: DeliveryReport(w.node_id, w.quality * 0.1)
+            for w in outcome.winners
+        }
+        audit_round(outcome, bad_reports, bl, 1)
+        assert not bl.banned  # first strike tolerated
+        audit_round(outcome, bad_reports, bl, 2)
+        assert len(bl.banned) == 2  # second strike bans
+
+    def test_filter_agents(self, rng):
+        class A:
+            def __init__(self, nid):
+                self.node_id = nid
+
+        bl = Blacklist(strikes_to_ban=1)
+        outcome = self.make_outcome(rng)
+        audit_round(outcome, {}, bl, 1)
+        agents = [A(i) for i in range(4)]
+        kept = bl.filter_agents(agents)
+        assert {a.node_id for a in kept} == set(range(4)) - bl.banned
+
+    def test_pardon(self, rng):
+        bl = Blacklist(strikes_to_ban=1)
+        outcome = self.make_outcome(rng)
+        audit_round(outcome, {}, bl, 1)
+        banned = next(iter(bl.banned))
+        bl.pardon(banned)
+        assert not bl.is_banned(banned)
+        assert bl.strikes(banned) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Blacklist(strikes_to_ban=0)
+        with pytest.raises(ValueError):
+            Blacklist(tolerance=1.0)
+
+
+class TestBudgetedAuction:
+    def make_bids(self):
+        # (node, quality, payment): scores 9, 7, 5, 3.
+        return [
+            Bid(0, np.array([10.0]), 1.0),
+            Bid(1, np.array([9.0]), 2.0),
+            Bid(2, np.array([8.0]), 3.0),
+            Bid(3, np.array([7.0]), 4.0),
+        ]
+
+    def test_unconstrained_budget_equals_top_k(self, rng):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 2)
+        budgeted = BudgetedAuction(base, budget=100.0)
+        out = budgeted.run(self.make_bids(), rng)
+        assert out.winner_ids == [0, 1]
+
+    def test_budget_caps_spending(self, rng):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 4)
+        budgeted = BudgetedAuction(base, budget=4.0)
+        out = budgeted.run(self.make_bids(), rng)
+        assert out.total_payment <= 4.0 + 1e-9
+
+    def test_score_order_skips_unaffordable(self, rng):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 3)
+        # Budget 4: takes node0 (1.0), node1 (2.0), skips node2 (3.0 > 1 left).
+        budgeted = BudgetedAuction(base, budget=4.0)
+        out = budgeted.run(self.make_bids(), rng)
+        assert out.winner_ids == [0, 1]
+
+    def test_value_per_cost_mode(self, rng):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 4)
+        budgeted = BudgetedAuction(base, budget=3.0, mode="value_per_cost")
+        out = budgeted.run(self.make_bids(), rng)
+        # ratios: 9/1, 7/2, 5/3, 3/4 -> node0 then node1 fits budget 3.
+        assert out.winner_ids == [0, 1]
+        assert out.total_payment <= 3.0 + 1e-9
+
+    def test_negative_scores_never_bought(self, rng):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 2)
+        budgeted = BudgetedAuction(base, budget=100.0)
+        bids = [Bid(0, np.array([1.0]), 5.0)]  # score -4
+        out = budgeted.run(bids, rng)
+        assert out.winners == []
+
+    def test_rejects_second_score(self):
+        base = MultiDimensionalProcurementAuction(
+            AdditiveScore([1.0]), 2, payment_rule="second_score"
+        )
+        with pytest.raises(ValueError):
+            BudgetedAuction(base, budget=1.0)
+
+    def test_validation(self):
+        base = MultiDimensionalProcurementAuction(AdditiveScore([1.0]), 2)
+        with pytest.raises(ValueError):
+            BudgetedAuction(base, budget=0.0)
+        with pytest.raises(ValueError):
+            BudgetedAuction(base, budget=1.0, mode="dutch")
+
+
+class TestPerNodePsi:
+    def test_constant_function_matches_psi_selection_statistics(self):
+        const = PerNodePsiSelection(lambda rank: 0.5)
+        plain = PsiSelection(0.5)
+        top_counts = {"const": 0, "plain": 0}
+        for seed in range(200):
+            rng1, rng2 = np.random.default_rng(seed), np.random.default_rng(seed)
+            top_counts["const"] += sum(1 for p in const.select(20, 5, rng1) if p < 5)
+            top_counts["plain"] += sum(1 for p in plain.select(20, 5, rng2) if p < 5)
+        assert abs(top_counts["const"] - top_counts["plain"]) < 100
+
+    def test_decaying_psi_favours_top_more_than_uniform(self):
+        decaying = PerNodePsiSelection(lambda rank: max(0.95 - 0.05 * rank, 0.05))
+        uniform = PsiSelection(0.5)
+        top_dec, top_uni = 0, 0
+        for seed in range(300):
+            top_dec += sum(
+                1 for p in decaying.select(30, 5, np.random.default_rng(seed)) if p < 5
+            )
+            top_uni += sum(
+                1 for p in uniform.select(30, 5, np.random.default_rng(seed)) if p < 5
+            )
+        assert top_dec > top_uni
+
+    def test_always_fills_k(self):
+        sel = PerNodePsiSelection(lambda rank: 0.1)
+        for seed in range(30):
+            chosen = sel.select(12, 4, np.random.default_rng(seed))
+            assert len(chosen) == 4
+
+    def test_probability_clipped(self):
+        sel = PerNodePsiSelection(lambda rank: 5.0, floor=0.2)
+        assert sel.probability(0) == 1.0
+        sel2 = PerNodePsiSelection(lambda rank: -1.0, floor=0.2)
+        assert sel2.probability(0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            PerNodePsiSelection(0.5)
+        with pytest.raises(ValueError):
+            PerNodePsiSelection(lambda r: 0.5, floor=0.0)
+
+
+class TestProposition2:
+    """Identical private types => psi does not change winning probability."""
+
+    def test_win_rate_is_k_over_n_for_any_psi(self):
+        n, k = 8, 3
+        win_counts = {0.3: np.zeros(n), 1.0: np.zeros(n)}
+        trials = 1500
+        for psi in win_counts:
+            for seed in range(trials):
+                rng = np.random.default_rng(seed)
+                # Same theta -> same equilibrium bid -> identical scores.
+                bids = [Bid(i, np.array([2.0]), 0.7) for i in range(n)]
+                out = run_simple_auction(bids, k, rng, selection=PsiSelection(psi))
+                for w in out.winner_ids:
+                    win_counts[psi][w] += 1
+        for psi, counts in win_counts.items():
+            rates = counts / trials
+            np.testing.assert_allclose(rates, k / n, atol=0.06)

@@ -1,0 +1,83 @@
+"""Unit tests for Proposition 4: aggregator resource-mix guidance."""
+
+import numpy as np
+import pytest
+
+from repro.core.guidance import (
+    alphas_for_target_mix,
+    optimal_quality_mix,
+    quality_ratio,
+    solve_mix_numerically,
+)
+
+
+class TestOptimalQualityMix:
+    def test_ratio_property(self):
+        # q*_i / q*_j = (alpha_i / alpha_j) * (beta_j / beta_i).
+        res = optimal_quality_mix([0.5, 0.3, 0.2], [0.2, 0.3, 0.5], theta=0.5, budget=10.0)
+        q = res.quality
+        for i in range(3):
+            for j in range(3):
+                expected = quality_ratio(
+                    res.alphas[i], res.alphas[j], res.betas[i], res.betas[j]
+                )
+                assert q[i] / q[j] == pytest.approx(expected)
+
+    def test_budget_exhausted(self):
+        res = optimal_quality_mix([0.6, 0.4], [0.5, 0.5], theta=0.4, budget=8.0)
+        spend = res.theta * float(np.dot(res.betas, res.quality))
+        assert spend == pytest.approx(8.0)
+
+    def test_expenditure_shares_equal_alphas(self):
+        # Cobb-Douglas classic: budget share of good i equals alpha_i.
+        res = optimal_quality_mix([0.7, 0.2, 0.1], [0.3, 0.3, 0.4], theta=0.6, budget=5.0)
+        np.testing.assert_allclose(res.spend_shares, res.alphas, rtol=1e-12)
+
+    def test_matches_numerical_lagrangian(self):
+        alphas, betas = [0.5, 0.3, 0.2], [0.2, 0.3, 0.5]
+        res = optimal_quality_mix(alphas, betas, theta=0.5, budget=10.0)
+        numeric = solve_mix_numerically(res.alphas, res.betas, 0.5, 10.0)
+        np.testing.assert_allclose(res.quality, numeric, rtol=5e-3)
+
+    def test_normalises_inputs(self):
+        res = optimal_quality_mix([5.0, 3.0, 2.0], [2.0, 3.0, 5.0], theta=0.5, budget=10.0)
+        assert res.alphas.sum() == pytest.approx(1.0)
+        assert res.betas.sum() == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            optimal_quality_mix([0.5, 0.0], [0.5, 0.5], 0.5, 1.0)
+        with pytest.raises(ValueError):
+            optimal_quality_mix([0.5, 0.5], [0.5, 0.5], -0.5, 1.0)
+        with pytest.raises(ValueError):
+            optimal_quality_mix([0.5, 0.5], [0.5, 0.5], 0.5, 0.0)
+
+
+class TestInverseProblem:
+    def test_roundtrip(self):
+        # Choose alphas for a target mix, then verify the mix comes back.
+        betas = [0.25, 0.35, 0.40]
+        target = np.array([4.0, 2.0, 1.0])
+        alphas = alphas_for_target_mix(target, betas)
+        res = optimal_quality_mix(alphas, betas, theta=0.5, budget=7.0)
+        ratio = res.quality / target
+        np.testing.assert_allclose(ratio, ratio[0] * np.ones(3), rtol=1e-9)
+
+    def test_alphas_normalised(self):
+        alphas = alphas_for_target_mix([1.0, 2.0], [0.5, 0.5])
+        assert alphas.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ValueError):
+            alphas_for_target_mix([0.0, 1.0], [0.5, 0.5])
+
+
+class TestQualityRatio:
+    def test_symmetry(self):
+        r = quality_ratio(0.4, 0.2, 0.3, 0.7)
+        r_inv = quality_ratio(0.2, 0.4, 0.7, 0.3)
+        assert r * r_inv == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quality_ratio(0.0, 1.0, 1.0, 1.0)

@@ -1,0 +1,195 @@
+"""Tests for the MEC substrate: resources, nodes, network, timing, cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import LinearCost
+from repro.core.equilibrium import EquilibriumSolver
+from repro.core.scoring import AdditiveScore, MultiplicativeScore
+from repro.core.valuation import PrivateValueModel, UniformTheta
+from repro.mec.cluster import (
+    SimulatedCluster,
+    build_cluster_specs,
+    cluster_quality_extractor,
+)
+from repro.mec.network import Link, duplex_transfer_time
+from repro.mec.node import EdgeNode, default_quality_extractor
+from repro.mec.resources import (
+    RandomWalkDynamics,
+    ResourceProfile,
+    StaticDynamics,
+    UniformAvailabilityDynamics,
+)
+from repro.mec.timing import ComputeModel
+
+
+class TestResourceProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceProfile(data_size=-1, category_proportion=0.5)
+        with pytest.raises(ValueError):
+            ResourceProfile(data_size=10, category_proportion=1.5)
+        with pytest.raises(ValueError):
+            ResourceProfile(data_size=10, category_proportion=0.5, cpu_cores=0)
+
+    def test_scaled(self):
+        p = ResourceProfile(1000, 0.8, bandwidth_mbps=100.0, compute_rate=200.0)
+        half = p.scaled(0.5)
+        assert half.data_size == 500
+        assert half.bandwidth_mbps == pytest.approx(50.0)
+        assert half.category_proportion == 0.8  # categories don't scale
+
+    def test_scaled_clips_fraction(self):
+        p = ResourceProfile(1000, 0.8)
+        assert p.scaled(2.0).data_size == 1000
+
+
+class TestDynamics:
+    def test_static(self, rng):
+        p = ResourceProfile(100, 0.5)
+        assert StaticDynamics().availability(p, 3, rng) is p
+
+    def test_uniform_bounds(self, rng):
+        p = ResourceProfile(1000, 0.5)
+        dyn = UniformAvailabilityDynamics(0.6)
+        for t in range(50):
+            avail = dyn.availability(p, t, rng)
+            assert 0.58 * 1000 <= avail.data_size <= 1000
+
+    def test_random_walk_is_smooth(self, rng):
+        p = ResourceProfile(10000, 0.5)
+        dyn = RandomWalkDynamics(step=0.05, min_fraction=0.3)
+        fractions = [dyn.availability(p, t, rng).data_size / 10000 for t in range(30)]
+        diffs = np.abs(np.diff(fractions))
+        assert diffs.max() <= 0.051
+        assert all(0.29 <= f <= 1.01 for f in fractions)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UniformAvailabilityDynamics(0.0)
+        with pytest.raises(ValueError):
+            RandomWalkDynamics(step=0.0)
+
+
+@pytest.fixture(scope="module")
+def mult_solver():
+    rule = MultiplicativeScore(2, 25.0)
+    cost = LinearCost([4.0, 2.0])
+    model = PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=20, k_winners=5)
+    return EquilibriumSolver(rule, cost, model, [[0.01, 5.0], [0.05, 1.0]], grid_size=65)
+
+
+class TestEdgeNode:
+    def test_default_extractor(self):
+        p = ResourceProfile(2500, 0.7)
+        np.testing.assert_allclose(default_quality_extractor(p), [2.5, 0.7])
+
+    def test_bid_capped_by_availability(self, mult_solver, rng):
+        profile = ResourceProfile(800, 0.4)
+        node = EdgeNode(0, 0.2, mult_solver, profile, StaticDynamics())
+        bid = node.make_bid(1, rng)
+        assert bid is not None
+        assert bid.quality[0] <= 0.8 + 1e-9
+        assert bid.quality[1] <= 0.4 + 1e-9
+
+    def test_bid_is_individually_rational(self, mult_solver, rng):
+        profile = ResourceProfile(3000, 0.9)
+        for theta in (0.15, 0.5, 0.95):
+            node = EdgeNode(1, theta, mult_solver, profile)
+            bid = node.make_bid(1, rng)
+            if bid is not None:
+                assert node.profit_if_paid(bid.quality, bid.payment) >= -1e-9
+
+    def test_abstains_when_margin_below_threshold(self, mult_solver, rng):
+        profile = ResourceProfile(3000, 0.9)
+        node = EdgeNode(2, 0.5, mult_solver, profile, min_margin=1e9)
+        assert node.make_bid(1, rng) is None
+
+    def test_dynamics_vary_bids(self, mult_solver):
+        profile = ResourceProfile(3000, 0.9)
+        node = EdgeNode(3, 0.2, mult_solver, profile, UniformAvailabilityDynamics(0.5))
+        rng = np.random.default_rng(0)
+        sizes = {node.make_bid(t, rng).quality[0] for t in range(10)}
+        assert len(sizes) > 1
+
+
+class TestNetwork:
+    def test_transfer_time(self):
+        link = Link(bandwidth_mbps=100.0, latency_s=0.0)
+        # 1 MB over 100 Mbps = 8e6 bits / 1e8 bps = 0.08 s.
+        assert link.transfer_time(1_000_000) == pytest.approx(0.08)
+
+    def test_latency_added(self):
+        link = Link(100.0, latency_s=0.01)
+        assert link.transfer_time(0) == pytest.approx(0.01)
+
+    def test_duplex(self):
+        link = Link(100.0, latency_s=0.0)
+        assert duplex_transfer_time(link, 1_000_000, 500_000) == pytest.approx(0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link(0.0)
+        with pytest.raises(ValueError):
+            Link(10.0).transfer_time(-1)
+
+
+class TestComputeModel:
+    def test_effective_rate_sublinear(self):
+        cm = ComputeModel(base_rate=100.0, core_exponent=0.8)
+        assert cm.effective_rate(1) == pytest.approx(100.0)
+        assert cm.effective_rate(8) < 800.0
+        assert cm.effective_rate(8) > 100.0
+
+    def test_training_time(self):
+        cm = ComputeModel(base_rate=100.0, core_exponent=1.0, overhead_s=1.0)
+        assert cm.training_time(200, 1, 2) == pytest.approx(2.0)
+
+    def test_more_cores_faster(self):
+        cm = ComputeModel()
+        assert cm.training_time(1000, 1, 8) < cm.training_time(1000, 1, 1)
+
+
+class TestSimulatedCluster:
+    def build(self, rng):
+        specs = build_cluster_specs([500, 1000, 2000], rng)
+        return SimulatedCluster(specs), specs
+
+    def test_round_time_is_slowest_winner(self, rng):
+        cluster, specs = self.build(rng)
+        t_all = cluster.round_time([0, 1, 2], {0: 500, 1: 1000, 2: 2000}, 10_000, 1)
+        per_node = [
+            cluster.node_round_time(i, n, 10_000, 1)
+            for i, n in [(0, 500), (1, 1000), (2, 2000)]
+        ]
+        assert t_all == pytest.approx(max(per_node) + cluster.aggregation_s)
+
+    def test_empty_round(self, rng):
+        cluster, _ = self.build(rng)
+        assert cluster.round_time([], {}, 10_000, 1) == cluster.aggregation_s
+
+    def test_more_samples_take_longer(self, rng):
+        cluster, _ = self.build(rng)
+        assert cluster.node_round_time(0, 2000, 10_000, 1) > cluster.node_round_time(
+            0, 100, 10_000, 1
+        )
+
+    def test_quality_extractor_normalises(self):
+        extractor = cluster_quality_extractor(8, 1000.0, 5000)
+        profile = ResourceProfile(
+            2500, 1.0, bandwidth_mbps=500.0, cpu_cores=4, compute_rate=100.0
+        )
+        np.testing.assert_allclose(extractor(profile), [0.5, 0.5, 0.5])
+
+    def test_quality_extractor_clips(self):
+        extractor = cluster_quality_extractor(4, 100.0, 1000)
+        profile = ResourceProfile(
+            5000, 1.0, bandwidth_mbps=900.0, cpu_cores=8, compute_rate=100.0
+        )
+        assert np.all(extractor(profile) <= 1.0)
+
+    def test_duplicate_ids_rejected(self, rng):
+        specs = build_cluster_specs([100, 100], rng)
+        dup = [specs[0], specs[0]]
+        with pytest.raises(ValueError):
+            SimulatedCluster(dup)

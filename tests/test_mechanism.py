@@ -1,0 +1,93 @@
+"""Unit tests for the FMoreMechanism protocol layer and its accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.auction import MultiDimensionalProcurementAuction
+from repro.core.bids import Bid
+from repro.core.mechanism import (
+    BID_ASK_BYTES_PER_NODE,
+    FLOAT_BYTES,
+    FMoreMechanism,
+)
+from repro.core.scoring import AdditiveScore
+
+
+class StubAgent:
+    """Deterministic test agent with optional abstention."""
+
+    def __init__(self, node_id, quality, payment, abstain=False):
+        self.node_id = node_id
+        self._bid = Bid(node_id, np.asarray(quality, dtype=float), payment)
+        self.abstain = abstain
+
+    def make_bid(self, round_index, rng):
+        return None if self.abstain else self._bid
+
+
+@pytest.fixture
+def mechanism():
+    auction = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), 2)
+    return FMoreMechanism(auction)
+
+
+class TestRunRound:
+    def test_winners_selected(self, mechanism, rng):
+        agents = [
+            StubAgent(0, [4.0, 4.0], 0.5),
+            StubAgent(1, [2.0, 2.0], 0.1),
+            StubAgent(2, [1.0, 1.0], 0.0),
+        ]
+        record = mechanism.run_round(agents, 1, rng)
+        assert record.outcome.winner_ids == [0, 1]
+        assert record.accounting.n_bids == 3
+
+    def test_abstention_recorded(self, mechanism, rng):
+        agents = [
+            StubAgent(0, [4.0, 4.0], 0.5),
+            StubAgent(1, [2.0, 2.0], 0.1, abstain=True),
+        ]
+        record = mechanism.run_round(agents, 1, rng)
+        assert record.abstained == [1]
+        assert record.accounting.n_bids == 1
+
+    def test_byte_accounting(self, mechanism, rng):
+        agents = [StubAgent(i, [1.0, 1.0], 0.1) for i in range(4)]
+        record = mechanism.run_round(agents, 1, rng)
+        acc = record.accounting
+        assert acc.downlink_bytes == 4 * BID_ASK_BYTES_PER_NODE
+        assert acc.uplink_bytes == 4 * FLOAT_BYTES * 3  # m=2 qualities + payment
+        assert acc.total_bytes == acc.downlink_bytes + acc.uplink_bytes
+
+    def test_history_accumulates(self, mechanism, rng):
+        agents = [StubAgent(i, [1.0, 1.0], 0.1) for i in range(3)]
+        mechanism.run_round(agents, 1, rng)
+        mechanism.run_round(agents, 2, rng)
+        assert len(mechanism.history) == 2
+        assert mechanism.total_payments == pytest.approx(0.4)  # 2 winners x 0.1 x 2 rounds
+
+    def test_communication_linear_in_n(self, rng):
+        """Section III-A: total auction traffic is linear in N."""
+        totals = []
+        for n in (10, 20, 40):
+            auction = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), 2)
+            mech = FMoreMechanism(auction)
+            agents = [StubAgent(i, [1.0, 1.0], 0.1) for i in range(n)]
+            mech.run_round(agents, 1, rng)
+            totals.append(mech.total_auction_bytes)
+        assert totals[1] == pytest.approx(2 * totals[0])
+        assert totals[2] == pytest.approx(4 * totals[0])
+
+    def test_overhead_negligible_vs_model_traffic(self, mechanism, rng):
+        """Lightweightness: bid traffic is tiny next to model parameters."""
+        agents = [StubAgent(i, [1.0, 1.0], 0.1) for i in range(100)]
+        for t in range(5):
+            mechanism.run_round(agents, t, rng)
+        # A small CNN has ~10^5 float64 parameters -> ~1 MB per transfer.
+        ratio = mechanism.overhead_relative_to_model(model_bytes=800_000)
+        assert ratio < 0.01
+
+    def test_empty_agent_list(self, mechanism, rng):
+        record = mechanism.run_round([], 1, rng)
+        assert record.outcome.winners == []
+        assert record.accounting.n_asked == 0

@@ -1,0 +1,137 @@
+"""Tests for losses and optimizers of the numpy NN substrate."""
+
+import numpy as np
+import pytest
+
+from repro.fl.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.fl.nn.optimizers import SGD, Adam
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        targets = np.array([0, 1])
+        assert loss.value(logits, targets) < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        targets = np.array([0, 3, 5, 9])
+        assert loss.value(logits, targets) == pytest.approx(np.log(10.0))
+
+    def test_gradient_is_probs_minus_onehot(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1.0, 2.0, 0.5]])
+        targets = np.array([1])
+        probs = SoftmaxCrossEntropy.probabilities(logits)
+        grad = loss.gradient(logits, targets)
+        expected = probs.copy()
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(grad, expected)
+
+    def test_gradient_finite_difference(self):
+        rng = np.random.default_rng(0)
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([0, 2, 4])
+        grad = loss.gradient(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                lp, lm = logits.copy(), logits.copy()
+                lp[i, j] += eps
+                lm[i, j] -= eps
+                num = (loss.value(lp, targets) - loss.value(lm, targets)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-7)
+
+    def test_numerical_stability_large_logits(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1e4, -1e4]])
+        assert np.isfinite(loss.value(logits, np.array([0])))
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        probs = SoftmaxCrossEntropy.probabilities(rng.standard_normal((6, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6))
+
+
+class TestMeanSquaredError:
+    def test_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == pytest.approx(2.5)
+
+    def test_gradient_finite_difference(self):
+        rng = np.random.default_rng(2)
+        loss = MeanSquaredError()
+        pred = rng.standard_normal((2, 3))
+        target = rng.standard_normal((2, 3))
+        grad = loss.gradient(pred, target)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(3):
+                pp, pm = pred.copy(), pred.copy()
+                pp[i, j] += eps
+                pm[i, j] -= eps
+                num = (loss.value(pp, target) - loss.value(pm, target)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-7)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        opt = SGD(lr=0.1)
+        p = [np.array([1.0, 2.0])]
+        g = [np.array([1.0, -1.0])]
+        opt.step(p, g)
+        np.testing.assert_allclose(p[0], [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        p = [np.array([0.0])]
+        g = [np.array([1.0])]
+        opt.step(p, g)  # v = 1, p = -0.1
+        opt.step(p, g)  # v = 1.9, p = -0.29
+        np.testing.assert_allclose(p[0], [-0.29])
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        p = [np.array([0.0])]
+        opt.step(p, [np.array([1.0])])
+        opt.reset()
+        opt.step(p, [np.array([1.0])])
+        # After reset the second step is a fresh v=1 step of -0.1.
+        np.testing.assert_allclose(p[0], [-0.2])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+
+    def test_minimises_quadratic(self):
+        opt = SGD(lr=0.1, momentum=0.5)
+        p = [np.array([5.0])]
+        for _ in range(100):
+            opt.step(p, [2.0 * p[0]])
+        assert abs(p[0][0]) < 1e-3
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        opt = Adam(lr=0.1)
+        p = [np.array([5.0])]
+        for _ in range(300):
+            opt.step(p, [2.0 * p[0]])
+        assert abs(p[0][0]) < 1e-2
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |first step| ~= lr regardless of grad scale.
+        opt = Adam(lr=0.01)
+        p = [np.array([0.0])]
+        opt.step(p, [np.array([1e-4])])
+        assert abs(p[0][0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_reset(self):
+        opt = Adam(lr=0.1)
+        p = [np.array([1.0])]
+        opt.step(p, [np.array([1.0])])
+        opt.reset()
+        assert opt._m is None and opt._t == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the payment-margin ODE backends (paper Eqs. 12-14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.odesolvers import (
+    MARGIN_BACKENDS,
+    euler_margin,
+    quadrature_margin,
+    rk4_margin,
+)
+
+
+def _power_kernel(u, exponent):
+    """g(u) = (u / u_max)^exponent — analytic margin u/(exponent+1)."""
+    return (u / u[-1]) ** exponent
+
+
+class TestQuadratureMargin:
+    def test_constant_kernel(self):
+        # g = 1 -> margin(u) = u - u0.
+        u = np.linspace(0.0, 2.0, 201)
+        m = quadrature_margin(u, np.ones_like(u))
+        np.testing.assert_allclose(m, u, atol=1e-12)
+
+    def test_power_kernel_analytic(self):
+        # Int_0^u x^e dx / u^e = u / (e + 1).  Trapezoid error dominates at
+        # the tiny-u end of the grid, hence the absolute-tolerance floor.
+        u = np.linspace(0.0, 1.0, 2001)
+        for e in (1, 3, 9):
+            m = quadrature_margin(u, _power_kernel(u, e))
+            np.testing.assert_allclose(m[1:], u[1:] / (e + 1), rtol=1e-3, atol=2e-4)
+
+    def test_zero_prefix_gives_zero_margin(self):
+        u = np.linspace(0.0, 1.0, 101)
+        g = np.where(u < 0.5, 0.0, 1.0)
+        m = quadrature_margin(u, g)
+        assert np.all(m[u < 0.5] == 0.0)
+        # Above the dead zone the margin accumulates from 0.5 on.
+        assert m[-1] == pytest.approx(0.5, abs=0.01)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("exponent", [1, 4, 9])
+    def test_three_backends_agree(self, exponent):
+        u = np.linspace(0.0, 1.0, 801)
+        g = _power_kernel(u, exponent)
+        ref = quadrature_margin(u, g)
+        np.testing.assert_allclose(euler_margin(u, g)[1:], ref[1:], rtol=0.02, atol=1e-3)
+        np.testing.assert_allclose(rk4_margin(u, g)[1:], ref[1:], rtol=0.02, atol=1e-3)
+
+    def test_rk4_more_accurate_than_euler_on_coarse_grid(self):
+        u = np.linspace(0.01, 1.0, 21)
+        g = _power_kernel(u, 5)
+        analytic = u / 6.0
+        err_euler = np.abs(euler_margin(u, g) - analytic)[5:].max()
+        err_rk4 = np.abs(rk4_margin(u, g) - analytic)[5:].max()
+        assert err_rk4 <= err_euler
+
+
+class TestValidation:
+    def test_rejects_decreasing_grid(self):
+        with pytest.raises(ValueError):
+            quadrature_margin(np.array([1.0, 0.5]), np.array([1.0, 1.0]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            euler_margin(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_rejects_negative_kernel(self):
+        with pytest.raises(ValueError):
+            rk4_margin(np.array([0.0, 1.0]), np.array([1.0, -0.5]))
+
+    def test_registry_contains_all(self):
+        assert set(MARGIN_BACKENDS) == {"quadrature", "euler", "rk4"}
+
+    def test_margins_nonnegative(self):
+        u = np.linspace(0.0, 1.0, 101)
+        g = _power_kernel(u, 2)
+        for backend in MARGIN_BACKENDS.values():
+            assert np.all(backend(u, g) >= 0.0)

@@ -1,0 +1,130 @@
+"""Tests for non-IID partitioning and client data materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.datasets import make_generator
+from repro.fl.partition import (
+    ClientData,
+    dirichlet_specs,
+    heterogeneous_specs,
+    materialize_clients,
+    shard_specs,
+)
+
+
+class TestHeterogeneousSpecs:
+    def test_respects_size_range(self, rng):
+        specs = heterogeneous_specs(50, 10, rng, size_range=(100, 1000))
+        for s in specs:
+            # Rounding of per-class proportions can add a few samples.
+            assert 50 <= s.size <= 1100
+
+    def test_respects_class_limits(self, rng):
+        specs = heterogeneous_specs(40, 10, rng, min_classes=2, max_classes=4)
+        for s in specs:
+            assert 2 <= s.n_classes_present <= 4
+
+    def test_sizes_are_heterogeneous(self, rng):
+        specs = heterogeneous_specs(60, 10, rng, size_range=(100, 5000))
+        sizes = np.array([s.size for s in specs])
+        assert sizes.max() > 3 * sizes.min()
+
+    def test_ids_sequential(self, rng):
+        specs = heterogeneous_specs(5, 10, rng)
+        assert [s.client_id for s in specs] == [0, 1, 2, 3, 4]
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            heterogeneous_specs(0, 10, rng)
+        with pytest.raises(ValueError):
+            heterogeneous_specs(5, 10, rng, size_range=(0, 10))
+        with pytest.raises(ValueError):
+            heterogeneous_specs(5, 10, rng, min_classes=5, max_classes=2)
+
+
+class TestShardSpecs:
+    def test_shards_per_client(self, rng):
+        specs = shard_specs(20, 10, rng, shards_per_client=2, shard_size=100)
+        for s in specs:
+            assert s.size == 200
+            assert s.n_classes_present <= 2
+
+    def test_class_coverage_across_population(self, rng):
+        specs = shard_specs(30, 10, rng, shards_per_client=2)
+        seen = set()
+        for s in specs:
+            seen.update(c for c, k in s.class_counts.items() if k > 0)
+        assert seen == set(range(10))
+
+
+class TestDirichletSpecs:
+    def test_low_alpha_concentrates(self, rng):
+        specs = dirichlet_specs(40, 10, rng, alpha=0.1)
+        # With alpha=0.1 most clients are dominated by few classes.
+        dominated = sum(
+            1
+            for s in specs
+            if max(s.class_counts.values()) / max(s.size, 1) > 0.5
+        )
+        assert dominated > 20
+
+    def test_high_alpha_spreads(self, rng):
+        specs = dirichlet_specs(40, 10, rng, alpha=100.0)
+        mean_classes = np.mean([s.n_classes_present for s in specs])
+        assert mean_classes > 8
+
+    def test_no_empty_clients(self, rng):
+        specs = dirichlet_specs(50, 10, rng, alpha=0.05, size_range=(5, 20))
+        assert all(s.size >= 1 for s in specs)
+
+
+class TestMaterialize:
+    def test_counts_match_specs(self, rng):
+        gen = make_generator("mnist_o", seed=0)
+        specs = heterogeneous_specs(8, 10, rng, size_range=(20, 60))
+        clients = materialize_clients(gen, specs, rng)
+        for spec, client in zip(specs, clients):
+            assert client.size == spec.size
+            hist = client.class_histogram
+            for cls, count in spec.class_counts.items():
+                assert hist[cls] == count
+
+    def test_category_proportion(self, rng):
+        gen = make_generator("mnist_o", seed=0)
+        specs = heterogeneous_specs(5, 10, rng, min_classes=3, max_classes=3)
+        clients = materialize_clients(gen, specs, rng)
+        for c in clients:
+            assert c.category_proportion == pytest.approx(0.3)
+
+
+class TestClientDataSubset:
+    def make_client(self, rng, counts):
+        gen = make_generator("mnist_o", seed=0)
+        x, y = gen.sample_mixed(counts, rng)
+        return ClientData(client_id=0, x=x, y=y, n_classes_total=10)
+
+    def test_subset_size(self, rng):
+        client = self.make_client(rng, {0: 30, 1: 30, 2: 40})
+        x, y = client.subset(50, rng)
+        assert x.shape[0] == 50 and y.shape[0] == 50
+
+    def test_subset_keeps_all_classes(self, rng):
+        client = self.make_client(rng, {0: 50, 1: 30, 7: 20})
+        _, y = client.subset(10, rng)
+        assert set(np.unique(y)) == {0, 1, 7}
+
+    def test_subset_full_size_returns_everything(self, rng):
+        client = self.make_client(rng, {0: 10, 1: 10})
+        x, y = client.subset(20, rng)
+        assert x.shape[0] == 20
+
+    def test_subset_clamps_to_available(self, rng):
+        client = self.make_client(rng, {0: 10})
+        x, _ = client.subset(500, rng)
+        assert x.shape[0] == 10
+
+    def test_subset_at_least_one(self, rng):
+        client = self.make_client(rng, {0: 10, 1: 10})
+        x, _ = client.subset(0, rng)
+        assert x.shape[0] >= 1

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for auction invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.auction import MultiDimensionalProcurementAuction
+from repro.core.bids import Bid
+from repro.core.psi import PsiSelection
+from repro.core.scoring import AdditiveScore
+
+finite_quality = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+finite_payment = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def bid_lists(draw, min_size=1, max_size=20):
+    n = draw(st.integers(min_size, max_size))
+    bids = []
+    for i in range(n):
+        q = np.array([draw(finite_quality), draw(finite_quality)])
+        bids.append(Bid(i, q, draw(finite_payment)))
+    return bids
+
+
+@given(bids=bid_lists(), k=st.integers(1, 6), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_winner_count_and_uniqueness(bids, k, seed):
+    auction = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), k)
+    out = auction.run(bids, np.random.default_rng(seed))
+    assert len(out.winners) == min(k, len(bids))
+    assert len(set(out.winner_ids)) == len(out.winners)
+
+
+@given(bids=bid_lists(min_size=2), k=st.integers(1, 5), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_winners_have_best_scores(bids, k, seed):
+    """Top-K selection: no loser may outscore any winner."""
+    auction = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), k)
+    out = auction.run(bids, np.random.default_rng(seed))
+    winner_set = set(out.winner_ids)
+    winner_scores = [w.score for w in out.winners]
+    loser_scores = [sb.score for sb in out.scored_bids if sb.node_id not in winner_set]
+    if winner_scores and loser_scores:
+        assert min(winner_scores) >= max(loser_scores) - 1e-9
+
+
+@given(bids=bid_lists(min_size=2), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_scores_sorted_descending(bids, seed):
+    auction = MultiDimensionalProcurementAuction(AdditiveScore([0.3, 0.7]), 3)
+    out = auction.run(bids, np.random.default_rng(seed))
+    scores = out.scores
+    assert np.all(np.diff(scores) <= 1e-9)
+
+
+@given(bids=bid_lists(min_size=3), k=st.integers(1, 4), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_second_score_dominates_first_score_payments(bids, k, seed):
+    first = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), k)
+    second = MultiDimensionalProcurementAuction(
+        AdditiveScore([0.5, 0.5]), k, payment_rule="second_score"
+    )
+    out1 = first.run(list(bids), np.random.default_rng(seed))
+    out2 = second.run(list(bids), np.random.default_rng(seed))
+    assert out2.total_payment >= out1.total_payment - 1e-9
+
+
+@given(
+    bids=bid_lists(min_size=4, max_size=15),
+    psi=st.floats(0.1, 1.0, exclude_min=False),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_psi_selection_always_fills(bids, psi, k, seed):
+    auction = MultiDimensionalProcurementAuction(
+        AdditiveScore([0.5, 0.5]), k, selection=PsiSelection(psi)
+    )
+    out = auction.run(bids, np.random.default_rng(seed))
+    assert len(out.winners) == min(k, len(bids))
+
+
+@given(bids=bid_lists(min_size=1), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_first_score_charged_equals_asked(bids, seed):
+    auction = MultiDimensionalProcurementAuction(AdditiveScore([0.5, 0.5]), 3)
+    out = auction.run(bids, np.random.default_rng(seed))
+    for w in out.winners:
+        assert w.charged_payment == w.asked_payment

@@ -1,0 +1,104 @@
+"""Property-based tests for dataset generation and partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.guidance import alphas_for_target_mix, optimal_quality_mix
+from repro.fl.datasets import make_generator
+from repro.fl.partition import dirichlet_specs, heterogeneous_specs
+
+_GEN = make_generator("mnist_o", seed=0)
+_TXT = make_generator("hpnews", seed=0)
+
+
+@given(
+    counts=st.dictionaries(
+        st.integers(0, 9), st.integers(1, 12), min_size=1, max_size=5
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_sample_mixed_conserves_counts(counts, seed):
+    """No sample lost or duplicated across class blocks."""
+    x, y = _GEN.sample_mixed(counts, np.random.default_rng(seed))
+    assert x.shape[0] == sum(counts.values())
+    hist = np.bincount(y, minlength=10)
+    for cls, n in counts.items():
+        assert hist[cls] == n
+
+
+@given(seed=st.integers(0, 2**16), cls=st.integers(0, 9), n=st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_image_samples_finite(seed, cls, n):
+    x = _GEN.sample(cls, n, np.random.default_rng(seed))
+    assert np.all(np.isfinite(x))
+    assert x.shape == (n, *_GEN.input_shape)
+
+
+@given(seed=st.integers(0, 2**16), cls=st.integers(0, 9), n=st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_text_tokens_valid(seed, cls, n):
+    x = _TXT.sample(cls, n, np.random.default_rng(seed))
+    assert x.min() >= 0 and x.max() < _TXT.spec.vocab_size
+
+
+@given(
+    n_clients=st.integers(1, 30),
+    seed=st.integers(0, 2**16),
+    min_c=st.integers(1, 5),
+    extra_c=st.integers(0, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_heterogeneous_specs_class_bounds(n_clients, seed, min_c, extra_c):
+    rng = np.random.default_rng(seed)
+    max_c = min(min_c + extra_c, 10)
+    specs = heterogeneous_specs(
+        n_clients, 10, rng, size_range=(20, 200), min_classes=min_c, max_classes=max_c
+    )
+    assert len(specs) == n_clients
+    for s in specs:
+        assert min_c <= s.n_classes_present <= max_c
+        assert all(v >= 1 for v in s.class_counts.values())
+
+
+@given(
+    n_clients=st.integers(1, 30),
+    alpha=st.floats(0.05, 10.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_dirichlet_specs_never_empty(n_clients, alpha, seed):
+    rng = np.random.default_rng(seed)
+    specs = dirichlet_specs(n_clients, 10, rng, alpha=alpha, size_range=(5, 50))
+    assert all(s.size >= 1 for s in specs)
+
+
+@given(
+    alphas=st.lists(st.floats(0.05, 5.0), min_size=2, max_size=5),
+    betas=st.lists(st.floats(0.05, 5.0), min_size=2, max_size=5),
+    theta=st.floats(0.1, 2.0),
+    budget=st.floats(0.5, 100.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_prop4_budget_always_exhausted(alphas, betas, theta, budget):
+    m = min(len(alphas), len(betas))
+    res = optimal_quality_mix(alphas[:m], betas[:m], theta, budget)
+    spend = res.theta * float(np.dot(res.betas, res.quality))
+    np.testing.assert_allclose(spend, budget, rtol=1e-9)
+
+
+@given(
+    target=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=4),
+    betas=st.lists(st.floats(0.1, 5.0), min_size=2, max_size=4),
+    theta=st.floats(0.1, 2.0),
+    budget=st.floats(1.0, 50.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_prop4_inverse_recovers_mix_direction(target, betas, theta, budget):
+    """alphas_for_target_mix then optimal_quality_mix returns a scaled target."""
+    m = min(len(target), len(betas))
+    t = np.asarray(target[:m])
+    alphas = alphas_for_target_mix(t, betas[:m])
+    achieved = optimal_quality_mix(alphas, betas[:m], theta, budget).quality
+    ratio = achieved / t
+    np.testing.assert_allclose(ratio, ratio[0], rtol=1e-9)

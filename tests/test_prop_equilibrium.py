@@ -1,0 +1,100 @@
+"""Property-based tests for the equilibrium strategy (Thms 1-3, 5; IR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import QuadraticCost
+from repro.core.equilibrium import EquilibriumSolver, win_kernel
+from repro.core.scoring import AdditiveScore
+from repro.core.valuation import PrivateValueModel, UniformTheta
+
+thetas = st.floats(min_value=0.1, max_value=1.0, allow_nan=False)
+
+
+@given(theta=thetas)
+@settings(max_examples=40, deadline=None)
+def test_payment_covers_cost_everywhere(additive_quadratic_solver, theta):
+    """IR: the equilibrium payment is never below the node's cost (Eq. 5)."""
+    s = additive_quadratic_solver
+    q = s.optimal_quality(theta)
+    assert s.payment(theta) >= s.cost.cost(q, theta) - 1e-9
+
+
+@given(theta=thetas)
+@settings(max_examples=40, deadline=None)
+def test_expected_profit_nonnegative(additive_quadratic_solver, theta):
+    assert additive_quadratic_solver.expected_profit(theta) >= -1e-12
+
+
+@given(t1=thetas, t2=thetas)
+@settings(max_examples=40, deadline=None)
+def test_max_score_monotone(additive_quadratic_solver, t1, t2):
+    """u0(theta) decreasing: cheaper types can always offer better deals."""
+    s = additive_quadratic_solver
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert s.max_score(lo) >= s.max_score(hi) - 1e-9
+
+
+@given(t1=thetas, t2=thetas)
+@settings(max_examples=40, deadline=None)
+def test_margin_monotone(additive_quadratic_solver, t1, t2):
+    s = additive_quadratic_solver
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert s.margin(lo) >= s.margin(hi) - 1e-9
+
+
+@given(theta=thetas, shrink=st.floats(0.01, 0.99))
+@settings(max_examples=40, deadline=None)
+def test_incentive_compatibility_quality_understatement(
+    additive_quadratic_solver, theta, shrink
+):
+    """Theorem 5: declaring q_hat < q* (same p) can only lower the score."""
+    s = additive_quadratic_solver
+    q_star, p_star = s.bid(theta)
+    q_hat = q_star * shrink
+    truthful = s.quality_rule.value(q_star) - p_star
+    deviant = s.quality_rule.value(q_hat) - p_star
+    assert deviant <= truthful + 1e-9
+
+
+@given(
+    h=st.floats(0.0, 1.0),
+    n=st.integers(2, 40),
+    k_small=st.integers(1, 10),
+    extra=st.integers(1, 10),
+)
+@settings(max_examples=80, deadline=None)
+def test_exact_win_kernel_monotone_in_k(h, n, k_small, extra):
+    """More winners can only help: g_exact increasing in K."""
+    k1 = min(k_small, n)
+    k2 = min(k_small + extra, n)
+    g1 = win_kernel(h, n, k1, "exact")
+    g2 = win_kernel(h, n, k2, "exact")
+    assert g2 >= g1 - 1e-12
+
+
+@given(h=st.floats(0.0, 1.0), n1=st.integers(2, 20), extra=st.integers(1, 20))
+@settings(max_examples=80, deadline=None)
+def test_exact_win_kernel_decreasing_in_n(h, n1, extra):
+    """More competitors can only hurt, at fixed K."""
+    k = 1
+    g1 = win_kernel(h, n1, k, "exact")
+    g2 = win_kernel(h, n1 + extra, k, "exact")
+    assert g2 <= g1 + 1e-12
+
+
+@given(
+    lo=st.floats(0.05, 0.5),
+    width=st.floats(0.1, 2.0),
+    n=st.integers(3, 15),
+)
+@settings(max_examples=10, deadline=None)
+def test_worst_type_zero_margin_across_environments(lo, width, n):
+    """The highest-cost type always earns zero margin, whatever F's support."""
+    hi = lo + width
+    rule = AdditiveScore([1.0])
+    cost = QuadraticCost([1.0])
+    model = PrivateValueModel(UniformTheta(lo, hi), n_nodes=n, k_winners=min(2, n))
+    solver = EquilibriumSolver(rule, cost, model, [[0.0, 50.0]], grid_size=65)
+    assert solver.margin(hi) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,112 @@
+"""Tests for mechanism properties: IR, IC (Thm 5), Pareto efficiency (Thm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.auction import MultiDimensionalProcurementAuction
+from repro.core.bids import Bid
+from repro.core.costs import QuadraticCost
+from repro.core.properties import (
+    check_incentive_compatibility,
+    is_individually_rational,
+    max_social_surplus,
+    pareto_gap,
+    profit_of_payment_deviation,
+    realized_social_surplus,
+    social_surplus,
+)
+from repro.core.scoring import AdditiveScore
+
+
+class TestIndividualRationality:
+    def test_positive_margin_ok(self):
+        assert is_individually_rational(payment=2.0, cost_value=1.5)
+
+    def test_negative_margin_fails(self):
+        assert not is_individually_rational(payment=1.0, cost_value=1.5)
+
+    def test_equilibrium_bids_are_ir(self, additive_quadratic_solver):
+        s = additive_quadratic_solver
+        for theta in np.linspace(0.1, 1.0, 12):
+            q, p = s.bid(float(theta))
+            assert is_individually_rational(p, s.cost.cost(q, float(theta)))
+
+
+class TestIncentiveCompatibility:
+    def test_no_violation_found(self, additive_quadratic_solver, rng):
+        for theta in (0.15, 0.4, 0.75):
+            violation = check_incentive_compatibility(
+                additive_quadratic_solver, theta, rng, n_trials=64
+            )
+            assert violation is None
+
+    def test_multiplicative_environment(self, multiplicative_solver, rng):
+        violation = check_incentive_compatibility(
+            multiplicative_solver, 0.3, rng, n_trials=64
+        )
+        assert violation is None
+
+    def test_equilibrium_payment_near_optimal_deviation(self, single_winner_solver):
+        """No unilateral payment deviation improves expected profit (K=1)."""
+        s = single_winner_solver
+        theta = 0.4
+        _, p_star = s.bid(theta)
+        base = profit_of_payment_deviation(s, theta, p_star)
+        grid = np.linspace(0.5 * p_star, 2.0 * p_star, 41)
+        best = max(profit_of_payment_deviation(s, theta, float(p)) for p in grid)
+        # Equilibrium should be within numerical tolerance of the grid best.
+        assert base >= best - 0.05 * max(best, 1e-9) - 1e-6
+
+
+class TestSocialSurplus:
+    def test_social_surplus_sums_terms(self):
+        rule = AdditiveScore([1.0])
+        cost = QuadraticCost([1.0])
+        qs = [np.array([2.0]), np.array([1.0])]
+        thetas = [0.5, 0.25]
+        expected = (2.0 - 0.5 * 4.0) + (1.0 - 0.25 * 1.0)
+        assert social_surplus(qs, thetas, rule, cost) == pytest.approx(expected)
+
+    def test_max_surplus_picks_lowest_types(self):
+        rule = AdditiveScore([1.0])
+        cost = QuadraticCost([1.0])
+        bounds = np.array([[0.0, 10.0]])
+        # u0(theta) = 1/(4 theta): lower theta -> more surplus.
+        thetas = [0.2, 0.5, 0.9]
+        best_1 = max_social_surplus(thetas, rule, cost, bounds, k_winners=1)
+        assert best_1 == pytest.approx(1.0 / (4 * 0.2), rel=1e-6)
+
+    def test_pareto_efficiency_of_score_sorting(self, additive_quadratic_solver, rng):
+        """Theorem 4: top-K-by-score equals the surplus-maximising selection."""
+        s = additive_quadratic_solver
+        thetas = s.model.distribution.sample(rng, 10)
+        bids = []
+        for i, theta in enumerate(np.asarray(thetas)):
+            q, p = s.bid(float(theta))
+            bids.append(Bid(i, q, p))
+        auction = MultiDimensionalProcurementAuction(s.quality_rule, s.model.k_winners)
+        outcome = auction.run(bids, rng)
+        gap = pareto_gap(
+            [w.quality for w in outcome.winners],
+            [float(thetas[w.node_id]) for w in outcome.winners],
+            np.asarray(thetas, dtype=float),
+            s.quality_rule,
+            s.cost,
+            s.quality_bounds,
+            s.model.k_winners,
+        )
+        # Interpolation error only; the selection itself is efficient.
+        assert gap == pytest.approx(0.0, abs=1e-3)
+
+    def test_realized_surplus_uses_outcome(self, additive_quadratic_solver, rng):
+        s = additive_quadratic_solver
+        thetas = {0: 0.2, 1: 0.6}
+        bids = [Bid(i, *s.bid(t)) for i, t in thetas.items()]
+        auction = MultiDimensionalProcurementAuction(s.quality_rule, 1)
+        outcome = auction.run(bids, rng)
+        value = realized_social_surplus(outcome, thetas, s.quality_rule, s.cost)
+        w = outcome.winners[0]
+        expected = s.quality_rule.value(w.quality) - s.cost.cost(
+            w.quality, thetas[w.node_id]
+        )
+        assert value == pytest.approx(expected)

@@ -1,0 +1,98 @@
+"""Unit tests for psi-FMore selection and the fill-probability formulas."""
+
+import numpy as np
+import pytest
+
+from repro.core.psi import (
+    PsiSelection,
+    TopKSelection,
+    negative_binomial_fill_probability,
+    paper_fill_probability,
+)
+
+
+class TestTopKSelection:
+    def test_selects_first_k(self, rng):
+        assert TopKSelection().select(10, 3, rng) == [0, 1, 2]
+
+    def test_fewer_bids_than_k(self, rng):
+        assert TopKSelection().select(2, 5, rng) == [0, 1]
+
+
+class TestPsiSelection:
+    def test_psi_one_equals_top_k(self, rng):
+        # "FMore is a special case of psi-FMore with psi = 1" (Section III-C).
+        sel = PsiSelection(1.0)
+        assert sel.select(10, 4, rng) == [0, 1, 2, 3]
+
+    def test_always_returns_k_winners(self):
+        sel = PsiSelection(0.2)
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            chosen = sel.select(12, 5, rng)
+            assert len(chosen) == 5
+            assert len(set(chosen)) == 5
+
+    def test_small_population_takes_everyone(self, rng):
+        sel = PsiSelection(0.3)
+        assert sorted(sel.select(3, 5, rng)) == [0, 1, 2]
+
+    def test_low_psi_spreads_selection(self):
+        # With psi=0.2 low-rank nodes win noticeably often; with psi=1 never.
+        low_rank_wins = 0
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            chosen = PsiSelection(0.2).select(30, 5, rng)
+            low_rank_wins += sum(1 for pos in chosen if pos >= 15)
+        assert low_rank_wins > 50
+
+    def test_high_psi_favours_top(self):
+        top_wins = 0
+        for seed in range(300):
+            rng = np.random.default_rng(seed)
+            chosen = PsiSelection(0.9).select(30, 5, rng)
+            top_wins += sum(1 for pos in chosen if pos < 10)
+        assert top_wins / (300 * 5) > 0.9
+
+    def test_rejects_bad_psi(self):
+        with pytest.raises(ValueError):
+            PsiSelection(0.0)
+        with pytest.raises(ValueError):
+            PsiSelection(1.2)
+
+
+class TestFillProbability:
+    def test_negative_binomial_matches_monte_carlo(self):
+        psi, n, k = 0.5, 12, 4
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 20000
+        for _ in range(trials):
+            accepted = np.cumsum(rng.random(n) < psi)
+            hits += accepted[-1] >= k
+        mc = hits / trials
+        assert negative_binomial_fill_probability(psi, n, k) == pytest.approx(mc, abs=0.02)
+
+    def test_psi_one_fills_certainly(self):
+        assert negative_binomial_fill_probability(1.0, 10, 4) == pytest.approx(1.0)
+        assert paper_fill_probability(1.0, 10, 4) == pytest.approx(1.0)
+
+    def test_monotone_in_psi(self):
+        values = [
+            negative_binomial_fill_probability(psi, 20, 5)
+            for psi in (0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_paper_formula_upper_bounds_exact(self):
+        # C(i+K, i) >= C(i+K-1, i), so the paper's sum dominates the exact one.
+        for psi in (0.3, 0.6, 0.9):
+            assert paper_fill_probability(psi, 15, 4) >= negative_binomial_fill_probability(
+                psi, 15, 4
+            ) - 1e-12
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            paper_fill_probability(0.0, 10, 2)
+        with pytest.raises(ValueError):
+            negative_binomial_fill_probability(0.5, 3, 5)

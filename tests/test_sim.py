@@ -1,0 +1,116 @@
+"""Tests for the experiment harness: config, rng, reporting, runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import AuctionConfig, ExperimentConfig, PRESET_NAMES, preset
+from repro.sim.reporting import ascii_table, fmt, paper_vs_measured, series_table
+from repro.sim.rng import rng_from, spawn_rngs
+from repro.sim.runner import SeriesStats, average_histories
+from repro.fl.trainer import RoundRecord, TrainingHistory
+
+
+class TestConfig:
+    @pytest.mark.parametrize("scale", PRESET_NAMES)
+    @pytest.mark.parametrize("ds", ["mnist_o", "cifar10", "hpnews"])
+    def test_presets_construct(self, scale, ds):
+        cfg = preset(scale, ds)
+        assert cfg.dataset == ds
+        assert 1 <= cfg.k_winners <= cfg.n_clients
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset("huge", "mnist_o")
+
+    def test_with_creates_modified_copy(self):
+        cfg = preset("smoke")
+        cfg2 = cfg.with_(n_rounds=7)
+        assert cfg2.n_rounds == 7
+        assert cfg.n_rounds != 7 or cfg.n_rounds == cfg2.n_rounds  # original intact
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_clients=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_clients=10, k_winners=11)
+        with pytest.raises(ValueError):
+            AuctionConfig(theta_lo=1.0, theta_hi=0.5)
+        with pytest.raises(ValueError):
+            AuctionConfig(psi=1.5)
+
+    def test_dataset_lr_calibration(self):
+        assert preset("bench", "cifar10").lr < preset("bench", "mnist_o").lr
+        assert preset("bench", "hpnews").lr > preset("bench", "mnist_o").lr
+
+
+class TestRng:
+    def test_spawn_independence(self):
+        a, b = spawn_rngs(1, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_named_streams_reproducible(self):
+        x = rng_from(5, "data").random(5)
+        y = rng_from(5, "data").random(5)
+        np.testing.assert_array_equal(x, y)
+
+    def test_named_streams_distinct(self):
+        x = rng_from(5, "data").random(5)
+        y = rng_from(5, "theta").random(5)
+        assert not np.allclose(x, y)
+
+    def test_seed_changes_stream(self):
+        x = rng_from(5, "data").random(5)
+        y = rng_from(6, "data").random(5)
+        assert not np.allclose(x, y)
+
+
+class TestReporting:
+    def test_fmt(self):
+        assert fmt(None) == "n/a"
+        assert fmt(0.123456) == "0.1235"
+        assert fmt(12345.6) == "12,345.6"
+        assert fmt("abc") == "abc"
+        assert fmt(float("nan")) == "nan"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_ascii_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_series_table(self):
+        out = series_table("T", "round", [1, 2], {"acc": [0.1, 0.2]})
+        assert "T" in out and "round" in out and "acc" in out
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured([("accuracy", 0.95, 0.93)])
+        assert "paper" in out and "measured" in out
+
+
+class TestRunner:
+    def make_history(self, accs):
+        h = TrainingHistory("X")
+        for i, a in enumerate(accs, start=1):
+            h.records.append(RoundRecord(i, a, 1 - a, [0], 0.0, round_seconds=1.0))
+        return h
+
+    def test_average(self):
+        h1 = self.make_history([0.2, 0.4])
+        h2 = self.make_history([0.4, 0.6])
+        stats = average_histories([h1, h2])
+        np.testing.assert_allclose(stats["accuracy"].mean, [0.3, 0.5])
+        np.testing.assert_allclose(stats["accuracy"].std, [0.1, 0.1])
+        np.testing.assert_allclose(stats["cumulative_seconds"].mean, [1.0, 2.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            average_histories([self.make_history([0.1]), self.make_history([0.1, 0.2])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_histories([])

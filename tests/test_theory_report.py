@@ -1,0 +1,27 @@
+"""The full theorem-verification battery must pass (paper Section IV)."""
+
+import pytest
+
+from repro.analysis import report, verify_all
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return verify_all(seed=0)
+
+
+def test_all_theorems_verified(checks):
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "\n" + report(checks)
+
+
+def test_expected_number_of_checks(checks):
+    # Che Thm 1/2, Prop 1, Thm 1 backends, Thm 2, Thm 3, Prop 2, Prop 3,
+    # Prop 4, Thm 4, Thm 5, IR — twelve results.
+    assert len(checks) == 12
+
+
+def test_report_renders(checks):
+    text = report(checks)
+    assert "PASS" in text
+    assert "Thm 5" in text

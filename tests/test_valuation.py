@@ -1,0 +1,77 @@
+"""Unit tests for the private-value model (theta distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.valuation import (
+    PrivateValueModel,
+    ScaledBetaTheta,
+    TruncatedNormalTheta,
+    UniformTheta,
+)
+
+ALL_FAMILIES = [
+    UniformTheta(0.1, 1.0),
+    TruncatedNormalTheta(0.1, 1.0),
+    ScaledBetaTheta(0.1, 1.0, a=2.0, b=5.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_FAMILIES, ids=["uniform", "truncnorm", "beta"])
+class TestDistributionContract:
+    def test_cdf_boundaries(self, dist):
+        assert dist.cdf(dist.lo) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(dist.hi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, dist):
+        xs = np.linspace(dist.lo, dist.hi, 50)
+        cdf = np.asarray(dist.cdf(xs))
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_ppf_inverts_cdf(self, dist):
+        for u in (0.1, 0.5, 0.9):
+            x = dist.ppf(u)
+            assert dist.cdf(x) == pytest.approx(u, abs=1e-6)
+
+    def test_samples_in_support(self, dist):
+        rng = np.random.default_rng(0)
+        draws = np.asarray(dist.sample(rng, 500))
+        assert draws.min() >= dist.lo - 1e-9
+        assert draws.max() <= dist.hi + 1e-9
+
+    def test_sample_distribution_matches_cdf(self, dist):
+        rng = np.random.default_rng(1)
+        draws = np.sort(np.asarray(dist.sample(rng, 4000)))
+        empirical = np.arange(1, draws.size + 1) / draws.size
+        theoretical = np.asarray(dist.cdf(draws))
+        assert np.max(np.abs(empirical - theoretical)) < 0.05  # KS-style bound
+
+    def test_pdf_zero_outside_support(self, dist):
+        assert dist.pdf(dist.lo - 0.05) == pytest.approx(0.0, abs=1e-9)
+        assert dist.pdf(dist.hi + 0.05) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSupportValidation:
+    def test_rejects_nonpositive_lo(self):
+        with pytest.raises(ValueError):
+            UniformTheta(0.0, 1.0)
+
+    def test_rejects_inverted_support(self):
+        with pytest.raises(ValueError):
+            UniformTheta(1.0, 0.5)
+
+
+class TestPrivateValueModel:
+    def test_sample_types_shape(self):
+        model = PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=20, k_winners=5)
+        rng = np.random.default_rng(3)
+        types = model.sample_types(rng)
+        assert types.shape == (20,)
+
+    def test_rejects_k_larger_than_n(self):
+        with pytest.raises(ValueError):
+            PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=5, k_winners=6)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            PrivateValueModel(UniformTheta(0.1, 1.0), n_nodes=0, k_winners=0)
