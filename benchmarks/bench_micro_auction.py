@@ -5,11 +5,15 @@ its equilibrium bid in linear time (Euler's method) and the aggregator only
 scores and sorts N bids.  These benches measure the actual costs:
 
 * pricing one equilibrium bid (table lookup after the one-off build),
+* pricing a whole population at once (``bid_batch`` vs the per-bid loop —
+  the vectorised path ``FMoreMechanism.run_round`` now uses),
 * a full winner-determination round at N = 1000 bids,
 * one complete mechanism round (ask -> collect -> determine) at N = 500.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -53,6 +57,47 @@ def test_micro_solver_build(benchmark):
 
     solver = benchmark(build)
     assert solver.margin(0.5) >= 0.0
+
+
+def test_micro_bid_batch_100(benchmark, bench_solver):
+    """Batch-pricing 100 capacity-capped bids must beat the loop >= 5x."""
+    rng = np.random.default_rng(3)
+    thetas = np.asarray(bench_solver.model.distribution.sample(rng, 100))
+    caps = np.column_stack(
+        [rng.uniform(0.5, 5.0, 100), rng.uniform(0.2, 1.0, 100)]
+    )
+
+    def loop():
+        return [
+            bench_solver.bid_with_capacity(float(t), c)
+            for t, c in zip(thetas, caps)
+        ]
+
+    def batch():
+        return bench_solver.bid_batch(thetas, caps)
+
+    # Correctness first: identical bids either way.
+    qualities, payments = batch()
+    for i, (q, p) in enumerate(loop()):
+        np.testing.assert_array_equal(qualities[i], q)
+        assert payments[i] == p
+
+    def best_of(fn, repeats=7, number=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(number):
+                fn()
+            best = min(best, (time.perf_counter() - start) / number)
+        return best
+
+    t_loop = best_of(loop)
+    t_batch = best_of(batch)
+    speedup = t_loop / t_batch
+    benchmark.extra_info["loop_ms"] = t_loop * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    benchmark(batch)
+    assert speedup >= 5.0, f"bid_batch speedup {speedup:.1f}x < 5x"
 
 
 def test_micro_winner_determination_1000(benchmark, bench_solver, bids_1000):

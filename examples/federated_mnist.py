@@ -9,26 +9,31 @@ Run:  python examples/federated_mnist.py        (~30 s)
 """
 
 from repro.analysis import headline_metrics, summarize_schemes
-from repro.sim import preset, run_comparison
+from repro.api import FMoreEngine, Scenario
 from repro.sim.reporting import ascii_table, series_table
 
-cfg = preset("bench", "mnist_o").with_(
+scenario = Scenario.from_preset(
+    "bench",
+    "mnist_o",
+    schemes=("FMore", "RandFL", "FixFL"),
+    seeds=(7,),
+).with_(
     name="example-mnist",
     n_clients=20,
     k_winners=5,
     n_rounds=10,
 )
-print(f"dataset={cfg.dataset}  N={cfg.n_clients}  K={cfg.k_winners}  "
-      f"rounds={cfg.n_rounds}")
+print(f"dataset={scenario.dataset}  N={scenario.n_clients}  "
+      f"K={scenario.k_winners}  rounds={scenario.n_rounds}")
 print("running FMore / RandFL / FixFL on a shared federation...\n")
 
-results = run_comparison(cfg, ("FMore", "RandFL", "FixFL"), seed=7)
+results = FMoreEngine().run(scenario).comparison()
 
 print(
     series_table(
         "accuracy per round",
         "round",
-        list(range(1, cfg.n_rounds + 1)),
+        list(range(1, scenario.n_rounds + 1)),
         {name: [round(a, 3) for a in h.accuracies] for name, h in results.items()},
     )
 )

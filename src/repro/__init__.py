@@ -16,6 +16,11 @@ Subpackages
     Mobile-edge-computing substrate: dynamic multi-dimensional resources,
     edge-node bidding agents, network/compute timing, and the simulated
     32-node cluster used for the "real-world" experiments.
+``repro.api``
+    The declarative surface: frozen, JSON-round-trippable
+    :class:`~repro.api.Scenario` specs and the registry-driven
+    :class:`~repro.api.FMoreEngine` façade (solver caching, batched
+    bid collection).
 ``repro.sim``
     Experiment harness: configs, multi-seed runners and report tables that
     regenerate every figure of the paper's evaluation.
@@ -26,6 +31,18 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import analysis, core, fl, mec, sim
+from . import analysis, api, core, fl, mec, sim
+from .api import FMoreEngine, RunResult, Scenario
 
-__all__ = ["analysis", "core", "fl", "mec", "sim", "__version__"]
+__all__ = [
+    "analysis",
+    "api",
+    "core",
+    "fl",
+    "mec",
+    "sim",
+    "Scenario",
+    "FMoreEngine",
+    "RunResult",
+    "__version__",
+]

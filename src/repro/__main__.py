@@ -5,28 +5,51 @@ Usage::
     python -m repro list                 # what can be reproduced
     python -m repro theory               # verify all theorems (Section IV)
     python -m repro compare mnist_o      # Fig 4-7 style comparison
+    python -m repro compare mnist_o --schemes FMore,PsiFMore,RandFL
     python -m repro cluster              # Fig 12-13 style cluster run
     python -m repro sweep-n              # Fig 9b payment/score vs N
     python -m repro sweep-k              # Fig 10b payment/score vs K
+    python -m repro run --scenario exp.json          # declarative run
+    python -m repro run --preset smoke --set seeds=0,1,2 --set n_rounds=5
+    python -m repro scenario --preset bench > exp.json   # emit a spec
 
-The pytest benches in ``benchmarks/`` remain the canonical reproduction
-(they record paper-vs-measured blocks); this CLI is the quick interactive
-path.
+The ``run`` command consumes :class:`repro.api.Scenario` JSON files (see
+``scenario`` to generate one) and drives the :class:`repro.api.FMoreEngine`
+façade; ``--set key=value`` overrides any scenario field.  The pytest
+benches in ``benchmarks/`` remain the canonical reproduction (they record
+paper-vs-measured blocks); this CLI is the quick interactive path.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
-COMMANDS = ("list", "theory", "compare", "cluster", "sweep-n", "sweep-k")
+COMMANDS = ("list", "theory", "compare", "cluster", "sweep-n", "sweep-k", "run", "scenario")
+
+DEFAULT_SCHEMES = ("FMore", "RandFL", "FixFL")
+
+
+def _parse_schemes(raw: str | None, default: tuple[str, ...] = DEFAULT_SCHEMES):
+    from .sim import SCHEMES
+
+    if raw is None:
+        return default
+    schemes = tuple(s.strip() for s in raw.split(",") if s.strip())
+    for s in schemes:
+        if s not in SCHEMES:
+            raise SystemExit(f"unknown scheme {s!r}; choose from {SCHEMES}")
+    if not schemes:
+        raise SystemExit("--schemes must name at least one scheme")
+    return schemes
 
 
 def _cmd_list() -> int:
     print(__doc__)
-    print("datasets for `compare`: mnist_o, mnist_f, cifar10, hpnews")
+    print("datasets for `compare`/`run`: mnist_o, mnist_f, cifar10, hpnews")
     return 0
 
 
@@ -38,15 +61,16 @@ def _cmd_theory() -> int:
     return 0 if all(c.passed for c in checks) else 1
 
 
-def _cmd_compare(dataset: str, seed: int, rounds: int | None) -> int:
+def _cmd_compare(dataset: str, seed: int, rounds: int | None, schemes_raw: str | None) -> int:
     from .analysis import summarize_schemes
     from .sim import preset, run_comparison
     from .sim.reporting import ascii_table, series_table
 
+    schemes = _parse_schemes(schemes_raw)
     cfg = preset("bench", dataset)
     if rounds is not None:
         cfg = cfg.with_(n_rounds=rounds)
-    results = run_comparison(cfg, ("FMore", "RandFL", "FixFL"), seed=seed)
+    results = run_comparison(cfg, schemes, seed=seed)
     print(
         series_table(
             f"accuracy per round ({dataset})",
@@ -61,6 +85,69 @@ def _cmd_compare(dataset: str, seed: int, rounds: int | None) -> int:
     ]
     print()
     print(ascii_table(["scheme", "final acc", "rounds to 50%", "payment"], rows))
+    return 0
+
+
+def _load_scenario(args) -> "object":
+    import json
+
+    from .api import Scenario
+
+    try:
+        if args.scenario is not None:
+            scenario = Scenario.from_json(Path(args.scenario).read_text())
+        else:
+            scenario = Scenario.from_preset(args.preset, args.dataset)
+        if args.schemes is not None:
+            scenario = scenario.with_(schemes=_parse_schemes(args.schemes))
+        if args.rounds is not None:
+            scenario = scenario.with_(n_rounds=args.rounds)
+        if args.overrides:
+            scenario = scenario.with_overrides(args.overrides)
+    except (ValueError, TypeError, json.JSONDecodeError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+    return scenario
+
+
+def _cmd_scenario(args) -> int:
+    """Emit the (validated) scenario JSON instead of running it."""
+    print(_load_scenario(args).to_json())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .api import FMoreEngine
+    from .sim.reporting import ascii_table, series_table
+
+    scenario = _load_scenario(args)
+    engine = FMoreEngine()
+    result = engine.run(scenario)
+    multi_seed = len(scenario.seeds) > 1
+    rounds = list(range(1, scenario.n_rounds + 1))
+    if multi_seed:
+        stats = result.averaged()
+        series = {s: [round(float(a), 3) for a in st["accuracy"].mean] for s, st in stats.items()}
+        title = f"mean accuracy per round ({scenario.name}, {len(scenario.seeds)} seeds)"
+    else:
+        series = {
+            s: [round(a, 3) for a in result.history(s).accuracies]
+            for s in scenario.schemes
+        }
+        title = f"accuracy per round ({scenario.name})"
+    print(series_table(title, "round", rounds, series))
+    rows = []
+    for scheme in scenario.schemes:
+        finals = [h.final_accuracy for h in result.histories[scheme]]
+        payments = [h.total_payment for h in result.histories[scheme]]
+        rows.append(
+            (scheme, round(float(np.mean(finals)), 4), round(float(np.mean(payments)), 3))
+        )
+    print()
+    print(ascii_table(["scheme", "final acc", "payment"], rows))
+    print(
+        f"\nsolver cache: {engine.cache_misses} build(s), "
+        f"{engine.cache_hits} reuse(s) across {len(scenario.seeds)} seed(s)"
+    )
     return 0
 
 
@@ -124,6 +211,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("dataset", nargs="?", default="mnist_o")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated scheme names (FMore,RandFL,FixFL,PsiFMore)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="Scenario JSON file for `run`/`scenario` (see Scenario.to_json)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="bench",
+        help="preset used by `run`/`scenario` when no --scenario file is given",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override a scenario field (repeatable), e.g. --set seeds=0,1,2",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -131,13 +242,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "theory":
         return _cmd_theory()
     if args.command == "compare":
-        return _cmd_compare(args.dataset, args.seed, args.rounds)
+        return _cmd_compare(args.dataset, args.seed, args.rounds, args.schemes)
     if args.command == "cluster":
         return _cmd_cluster(args.seed)
     if args.command == "sweep-n":
         return _cmd_sweep("n", args.seed)
     if args.command == "sweep-k":
         return _cmd_sweep("k", args.seed)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     raise AssertionError("unreachable")
 
 

@@ -1,0 +1,43 @@
+"""Declarative public API: Scenario specs and the FMoreEngine façade.
+
+The stable, registry-driven surface for running FMore experiments::
+
+    from repro.api import FMoreEngine, Scenario
+
+    scenario = Scenario.from_preset("smoke", "mnist_o", seeds=(0, 1, 2))
+    result = FMoreEngine().run(scenario)
+    for scheme, stats in result.averaged().items():
+        print(scheme, stats["accuracy"].mean[-1])
+
+A :class:`Scenario` is a frozen, JSON-round-trippable description of an
+entire experiment; :class:`FMoreEngine` assembles components from the
+:mod:`repro.core.registry` tables, caches the equilibrium solver per
+advertised game, and collects all bids per round through the vectorised
+``EquilibriumSolver.bid_batch`` path.  The legacy builder functions in
+:mod:`repro.sim.experiment` are thin shims over this package.
+"""
+
+from .engine import (
+    Federation,
+    FMoreEngine,
+    RunResult,
+    build_agents,
+    build_federation,
+    build_selection,
+    build_solver,
+    run_scheme,
+)
+from .scenario import SCHEME_NAMES, Scenario
+
+__all__ = [
+    "Scenario",
+    "SCHEME_NAMES",
+    "FMoreEngine",
+    "RunResult",
+    "Federation",
+    "build_federation",
+    "build_solver",
+    "build_agents",
+    "build_selection",
+    "run_scheme",
+]

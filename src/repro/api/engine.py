@@ -1,0 +1,421 @@
+"""The :class:`FMoreEngine` façade: scenario in, training histories out.
+
+This module is the real assembly path of the simulator (the legacy
+builders in :mod:`repro.sim.experiment` are thin shims over it).  From a
+:class:`~repro.api.scenario.Scenario` it builds
+
+* the **federation** — synthetic dataset generator, heterogeneous non-IID
+  clients, held-out test set shared across schemes,
+* the **auction environment** — every component created from the
+  :mod:`repro.core.registry` tables named by the scenario's specs, with
+  the :class:`~repro.core.equilibrium.EquilibriumSolver` *cached per
+  advertised game* ``(s, c, F, N, K)`` so parameter sweeps and multi-seed
+  runs reuse one grid solve,
+* the **schemes** — RandFL / FixFL / FMore / psi-FMore wired into
+  :class:`~repro.fl.trainer.FederatedTrainer` instances sharing initial
+  global weights,
+
+and runs every ``(scheme, seed)`` cell of the scenario's plan, returning
+a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.auction import MultiDimensionalProcurementAuction
+from ..core.equilibrium import EquilibriumSolver
+from ..core.mechanism import FMoreMechanism
+from ..core.registry import (
+    COST_MODELS,
+    SCORING_RULES,
+    THETA_DISTRIBUTIONS,
+    WINNER_SELECTIONS,
+)
+from ..core.valuation import PrivateValueModel
+from ..fl.client import FLClient
+from ..fl.datasets import DataGenerator, make_generator
+from ..fl.models import build_model
+from ..fl.partition import ClientData, heterogeneous_specs, materialize_clients
+from ..fl.selection import (
+    AuctionSelection,
+    FixedSelection,
+    RandomSelection,
+    SelectionStrategy,
+)
+from ..fl.server import FedAvgServer
+from ..fl.trainer import FederatedTrainer, RoundTimer, TrainingHistory
+from ..mec.node import EdgeNode
+from ..mec.resources import ResourceProfile, UniformAvailabilityDynamics
+from ..sim.rng import rng_from
+from .scenario import SCHEME_NAMES, Scenario
+
+__all__ = [
+    "Federation",
+    "RunResult",
+    "FMoreEngine",
+    "build_federation",
+    "build_solver",
+    "build_agents",
+    "build_selection",
+    "run_scheme",
+    "SAMPLES_PER_QUALITY_UNIT",
+]
+
+SAMPLES_PER_QUALITY_UNIT = 1000.0  # q1 is data size in kilosamples
+
+_AUCTION_SCHEMES = ("FMore", "PsiFMore")
+
+
+@dataclass
+class Federation:
+    """Everything schemes must share for a fair comparison."""
+
+    generator: DataGenerator
+    clients_data: list[ClientData]
+    test_x: np.ndarray
+    test_y: np.ndarray
+    thetas: np.ndarray
+    initial_weights: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients_data)
+
+
+# ----------------------------------------------------------------------
+# Assembly: scenario -> live objects (all components via the registries)
+# ----------------------------------------------------------------------
+def build_federation(scenario: Scenario, seed: int) -> Federation:
+    """Materialise clients, test set and private types for one seed.
+
+    The federation depends on ``(scenario, seed)`` only — schemes run on
+    identical data and identical theta draws, as the paper's comparisons
+    require.
+    """
+    data_rng = rng_from(seed, f"data-{scenario.name}")
+    theta_rng = rng_from(seed, f"theta-{scenario.name}")
+    generator = make_generator(
+        scenario.dataset, seed=scenario.data_seed, image_size=scenario.image_size
+    )
+    specs = heterogeneous_specs(
+        scenario.n_clients,
+        generator.n_classes,
+        data_rng,
+        size_range=scenario.size_range,
+        min_classes=scenario.min_classes,
+        max_classes=scenario.max_classes,
+    )
+    clients_data = materialize_clients(generator, specs, data_rng)
+    test_x, test_y = generator.test_set(scenario.test_per_class, data_rng)
+    distribution = THETA_DISTRIBUTIONS.create(scenario.theta)
+    thetas = distribution.sample(theta_rng, scenario.n_clients)
+    return Federation(generator, clients_data, test_x, test_y, np.asarray(thetas))
+
+
+def solver_bounds(scenario: Scenario) -> list[list[float]]:
+    """Per-dimension quality bounds of the simulation game (Section V-A)."""
+    hi_q1 = scenario.size_range[1] / SAMPLES_PER_QUALITY_UNIT
+    return [[0.01, hi_q1], [0.05, 1.0]]
+
+
+def build_solver(
+    scenario: Scenario,
+    n_clients: int | None = None,
+    k_winners: int | None = None,
+) -> EquilibriumSolver:
+    """The common-knowledge equilibrium solver of the advertised game.
+
+    Every component — scoring rule ``s``, cost family ``c``, type prior
+    ``F`` — is created from its registry spec; the population ``(N, K)``
+    defaults to the scenario's federation shape.
+    """
+    rule = SCORING_RULES.create(scenario.scoring)
+    cost = COST_MODELS.create(scenario.cost)
+    model = PrivateValueModel(
+        THETA_DISTRIBUTIONS.create(scenario.theta),
+        n_nodes=n_clients if n_clients is not None else scenario.n_clients,
+        k_winners=k_winners if k_winners is not None else scenario.k_winners,
+    )
+    return EquilibriumSolver(
+        rule,
+        cost,
+        model,
+        solver_bounds(scenario),
+        win_model=scenario.win_model,
+        payment_method=scenario.payment_method,
+        grid_size=scenario.grid_size,
+    )
+
+
+def build_agents(
+    scenario: Scenario,
+    federation: Federation,
+    solver: EquilibriumSolver,
+) -> list[EdgeNode]:
+    """One bidding agent per client, capacity = its actual local data."""
+    agents: list[EdgeNode] = []
+    for data, theta in zip(federation.clients_data, federation.thetas):
+        profile = ResourceProfile(
+            data_size=data.size,
+            category_proportion=max(data.category_proportion, 0.05),
+        )
+        agents.append(
+            EdgeNode(
+                node_id=data.client_id,
+                theta=float(theta),
+                solver=solver,
+                profile=profile,
+                dynamics=UniformAvailabilityDynamics(scenario.availability_min_fraction),
+                theta_jitter=scenario.theta_jitter,
+            )
+        )
+    return agents
+
+
+def _quality_to_samples(quality: np.ndarray) -> int:
+    return int(round(quality[0] * SAMPLES_PER_QUALITY_UNIT))
+
+
+def build_selection(
+    scenario: Scenario,
+    scheme: str,
+    federation: Federation,
+    seed: int,
+    solver: EquilibriumSolver | None = None,
+) -> SelectionStrategy:
+    """Construct the selection strategy for a scheme name."""
+    client_ids = [c.client_id for c in federation.clients_data]
+    if scheme == "RandFL":
+        return RandomSelection(client_ids, scenario.k_winners)
+    if scheme == "FixFL":
+        return FixedSelection(client_ids, scenario.k_winners, rng_from(seed, "fixfl"))
+    if scheme in _AUCTION_SCHEMES:
+        if solver is None:
+            solver = build_solver(scenario)
+        agents = build_agents(scenario, federation, solver)
+        if scheme == "PsiFMore":
+            psi = scenario.psi if scenario.psi is not None else 0.8
+            policy = WINNER_SELECTIONS.create({"name": "psi", "psi": psi})
+        else:
+            policy = WINNER_SELECTIONS.create("top_k")
+        auction = MultiDimensionalProcurementAuction(
+            solver.quality_rule,
+            scenario.k_winners,
+            payment_rule=scenario.payment_rule,
+            selection=policy,
+        )
+        mechanism = FMoreMechanism(auction)
+        strategy = AuctionSelection(mechanism, agents, _quality_to_samples)
+        strategy.name = scheme
+        return strategy
+    raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEME_NAMES}")
+
+
+def _build_global_model(scenario: Scenario, federation: Federation, seed: int):
+    vocab = None
+    if scenario.dataset == "hpnews":
+        vocab = federation.generator.spec.vocab_size  # type: ignore[attr-defined]
+    return build_model(
+        scenario.dataset,
+        federation.generator.input_shape,
+        federation.generator.n_classes,
+        rng_from(seed, "model-init"),
+        width=scenario.model_width,
+        lr=scenario.lr,
+        vocab_size=vocab,
+    )
+
+
+def run_scheme(
+    scenario: Scenario,
+    scheme: str,
+    seed: int,
+    federation: Federation | None = None,
+    timer: RoundTimer | None = None,
+    solver: EquilibriumSolver | None = None,
+) -> TrainingHistory:
+    """Run one scheme for ``scenario.n_rounds`` rounds; returns its history.
+
+    All schemes for a given ``(scenario, seed)`` share the federation and
+    the initial global weights; only training randomness differs per
+    scheme.
+    """
+    if federation is None:
+        federation = build_federation(scenario, seed)
+    global_model = _build_global_model(scenario, federation, seed)
+    if federation.initial_weights:
+        global_model.set_weights(federation.initial_weights)
+    else:
+        federation.initial_weights = global_model.get_weights()
+    server = FedAvgServer(global_model)
+    clients = [
+        FLClient(
+            data,
+            local_epochs=scenario.local_epochs,
+            batch_size=scenario.batch_size,
+            max_batches_per_round=scenario.max_batches_per_round,
+        )
+        for data in federation.clients_data
+    ]
+    selection = build_selection(scenario, scheme, federation, seed, solver=solver)
+    trainer = FederatedTrainer(
+        server,
+        clients,
+        selection,
+        federation.test_x,
+        federation.test_y,
+        rng_from(seed, f"train-{scheme}"),
+        timer=timer,
+    )
+    return trainer.run(scenario.n_rounds)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Histories of every ``(scheme, seed)`` cell of a scenario's plan."""
+
+    scenario: Scenario
+    histories: dict[str, list[TrainingHistory]]
+
+    @property
+    def schemes(self) -> tuple[str, ...]:
+        return self.scenario.schemes
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return self.scenario.seeds
+
+    def history(self, scheme: str, seed: int | None = None) -> TrainingHistory:
+        """One scheme's history for ``seed`` (default: the first seed)."""
+        seed = self.seeds[0] if seed is None else seed
+        return self.histories[scheme][self.seeds.index(seed)]
+
+    def comparison(self, seed: int | None = None) -> dict[str, TrainingHistory]:
+        """The legacy ``run_comparison`` shape: one history per scheme."""
+        return {scheme: self.history(scheme, seed) for scheme in self.schemes}
+
+    def averaged(self) -> dict[str, dict[str, Any]]:
+        """Seed-averaged accuracy/loss/time series per scheme."""
+        from ..sim.runner import average_histories
+
+        return {s: average_histories(h) for s, h in self.histories.items()}
+
+
+# ----------------------------------------------------------------------
+# The façade
+# ----------------------------------------------------------------------
+class FMoreEngine:
+    """Runs scenarios, caching equilibrium solvers per advertised game.
+
+    The cache key is the full common knowledge of the game —
+    ``(s, c, F, N, K)`` plus quality bounds, winning kernel, payment
+    backend and grid size — so a multi-seed run, a scheme comparison or a
+    sweep over *non-game* parameters builds the strategy tables exactly
+    once.  Construction is cheap; share one engine across related runs to
+    share its cache.
+
+    Parameters
+    ----------
+    timer:
+        Optional :class:`~repro.fl.trainer.RoundTimer` forwarded to every
+        trainer (the MEC cluster's wall-clock model).
+    """
+
+    def __init__(self, timer: RoundTimer | None = None):
+        self.timer = timer
+        self._solvers: dict[tuple, EquilibriumSolver] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- solver cache ---------------------------------------------------
+    def solver_for(
+        self,
+        scenario: Scenario,
+        n_clients: int | None = None,
+        k_winners: int | None = None,
+    ) -> EquilibriumSolver:
+        """The (cached) equilibrium solver of the scenario's game."""
+        key = self._game_key(scenario, n_clients, k_winners)
+        solver = self._solvers.get(key)
+        if solver is None:
+            self.cache_misses += 1
+            solver = build_solver(scenario, n_clients=n_clients, k_winners=k_winners)
+            self._solvers[key] = solver
+        else:
+            self.cache_hits += 1
+        return solver
+
+    @staticmethod
+    def _game_key(
+        scenario: Scenario, n_clients: int | None, k_winners: int | None
+    ) -> tuple:
+        return (
+            _freeze(scenario.scoring),
+            _freeze(scenario.cost),
+            _freeze(scenario.theta),
+            n_clients if n_clients is not None else scenario.n_clients,
+            k_winners if k_winners is not None else scenario.k_winners,
+            _freeze(solver_bounds(scenario)),
+            scenario.win_model,
+            scenario.payment_method,
+            scenario.grid_size,
+        )
+
+    # -- running --------------------------------------------------------
+    def run_scheme(
+        self,
+        scenario: Scenario,
+        scheme: str,
+        seed: int,
+        federation: Federation | None = None,
+    ) -> TrainingHistory:
+        """One ``(scheme, seed)`` cell, using the cached solver."""
+        solver = (
+            self.solver_for(scenario) if scheme in _AUCTION_SCHEMES else None
+        )
+        return run_scheme(
+            scenario,
+            scheme,
+            seed,
+            federation=federation,
+            timer=self.timer,
+            solver=solver,
+        )
+
+    def run(self, scenario: Scenario) -> RunResult:
+        """Run every scheme over every seed of the scenario's plan."""
+        histories: dict[str, list[TrainingHistory]] = {
+            scheme: [] for scheme in scenario.schemes
+        }
+        needs_solver = any(s in _AUCTION_SCHEMES for s in scenario.schemes)
+        for seed in scenario.seeds:
+            federation = build_federation(scenario, seed)
+            solver = self.solver_for(scenario) if needs_solver else None
+            for scheme in scenario.schemes:
+                histories[scheme].append(
+                    run_scheme(
+                        scenario,
+                        scheme,
+                        seed,
+                        federation=federation,
+                        timer=self.timer,
+                        solver=solver,
+                    )
+                )
+        return RunResult(scenario, histories)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively hashable view of a JSON-ish value (dicts sort by key)."""
+    if isinstance(value, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

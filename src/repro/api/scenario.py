@@ -1,0 +1,367 @@
+"""Declarative experiment specs: the :class:`Scenario` dataclass.
+
+A :class:`Scenario` describes an *entire* experiment — dataset, federation
+shape, auction environment, schemes, seeds — as one frozen, validated,
+JSON-round-trippable value.  The auction components (scoring rule, cost
+model, type prior) are named registry specs (see
+:mod:`repro.core.registry`), so the same six-step protocol runs with any
+registered component mix without touching assembly code:
+
+>>> s = Scenario.from_preset("smoke", "mnist_o")
+>>> s2 = Scenario.from_json(s.to_json())
+>>> s2 == s
+True
+
+Scenarios are consumed by :class:`repro.api.FMoreEngine` and by the CLI
+(``python -m repro run --scenario file.json --set key=value``).  The
+legacy :class:`repro.sim.config.ExperimentConfig` bridges both ways via
+:meth:`Scenario.from_config` / :meth:`Scenario.to_config`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from ..core.registry import (
+    COST_MODELS,
+    MARGIN_METHODS,
+    PAYMENT_RULES,
+    SCORING_RULES,
+    THETA_DISTRIBUTIONS,
+)
+
+__all__ = ["Scenario", "SCHEME_NAMES"]
+
+SCHEME_NAMES = ("FMore", "RandFL", "FixFL", "PsiFMore")
+
+_WIN_MODELS = ("paper", "exact")
+
+# Fields deserialised back into tuples (JSON only has lists).
+_TUPLE_FIELDS = ("size_range", "schemes", "seeds")
+_SPEC_FIELDS = {
+    "scoring": SCORING_RULES,
+    "cost": COST_MODELS,
+    "theta": THETA_DISTRIBUTIONS,
+}
+
+
+def _default_scoring() -> dict:
+    return {"name": "multiplicative", "n_dimensions": 2, "scale": 25.0}
+
+
+def _default_cost() -> dict:
+    return {"name": "linear", "betas": (4.0, 2.0)}
+
+
+def _default_theta() -> dict:
+    return {"name": "uniform", "lo": 0.1, "hi": 1.0}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment (dataset + federation + auction + plan).
+
+    The default values mirror the paper's Section V-A setup, like
+    :class:`~repro.sim.config.ExperimentConfig` does; ``from_preset``
+    bridges the existing ``smoke``/``bench``/``paper`` presets.
+    """
+
+    name: str = "default"
+    dataset: str = "mnist_o"
+    # -- federation shape ------------------------------------------------
+    n_clients: int = 100
+    k_winners: int = 20
+    test_per_class: int = 50
+    size_range: tuple[int, int] = (200, 5000)
+    min_classes: int = 1
+    max_classes: int | None = None
+    availability_min_fraction: float = 0.35
+    theta_jitter: float = 0.2
+    data_seed: int = 7
+    # -- training --------------------------------------------------------
+    n_rounds: int = 20
+    local_epochs: int = 1
+    batch_size: int = 32
+    max_batches_per_round: int | None = None
+    lr: float = 0.08
+    model_width: float = 0.25
+    image_size: int | None = None
+    # -- auction environment (registry specs) ----------------------------
+    scoring: dict = field(default_factory=_default_scoring)
+    cost: dict = field(default_factory=_default_cost)
+    theta: dict = field(default_factory=_default_theta)
+    payment_rule: str = "first_score"
+    win_model: str = "paper"
+    payment_method: str = "euler"
+    psi: float | None = None
+    grid_size: int = 257
+    # -- run plan ---------------------------------------------------------
+    schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL")
+    seeds: tuple[int, ...] = (0,)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        # Normalise JSON-ish inputs (lists, or scalars from CLI --set
+        # overrides like `seeds=0` / `schemes=FMore`) into canonical tuples.
+        schemes = (self.schemes,) if isinstance(self.schemes, str) else self.schemes
+        seeds = (self.seeds,) if isinstance(self.seeds, int) else self.seeds
+        object.__setattr__(self, "size_range", tuple(int(v) for v in self.size_range))
+        object.__setattr__(self, "schemes", tuple(str(s) for s in schemes))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in seeds))
+        if self.n_clients < 2:
+            raise ValueError("n_clients must be >= 2")
+        if not (1 <= self.k_winners <= self.n_clients):
+            raise ValueError("need 1 <= k_winners <= n_clients")
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        lo, hi = self.size_range
+        if not (0 < lo <= hi):
+            raise ValueError("size_range must satisfy 0 < lo <= hi")
+        if not self.schemes:
+            raise ValueError("schemes must be non-empty")
+        for scheme in self.schemes:
+            if scheme not in SCHEME_NAMES:
+                raise ValueError(
+                    f"unknown scheme {scheme!r}; choose from {SCHEME_NAMES}"
+                )
+        if len(set(self.schemes)) != len(self.schemes):
+            raise ValueError("schemes must be unique")
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty")
+        for spec_name, registry in _SPEC_FIELDS.items():
+            spec = getattr(self, spec_name)
+            if not isinstance(spec, Mapping):
+                raise TypeError(f"{spec_name} must be a spec mapping")
+            spec = {str(k): _detuple(v) for k, v in spec.items()}
+            object.__setattr__(self, spec_name, spec)
+            name = spec.get("name")
+            if not isinstance(name, str) or name not in registry:
+                raise ValueError(
+                    f"{spec_name} spec names unknown {registry.kind} {name!r}; "
+                    f"choose from {list(registry.names())}"
+                )
+        if self.payment_rule not in PAYMENT_RULES:
+            raise ValueError(
+                f"unknown payment rule {self.payment_rule!r}; "
+                f"choose from {list(PAYMENT_RULES.names())}"
+            )
+        if self.win_model not in _WIN_MODELS:
+            raise ValueError(f"win_model must be one of {_WIN_MODELS}")
+        if self.payment_method not in MARGIN_METHODS:
+            raise ValueError(
+                f"unknown payment method {self.payment_method!r}; "
+                f"choose from {list(MARGIN_METHODS.names())}"
+            )
+        if self.psi is not None and not (0.0 < self.psi <= 1.0):
+            raise ValueError("psi must lie in (0, 1]")
+        if self.grid_size < 16:
+            raise ValueError("grid_size must be at least 16")
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_(self, **changes: Any) -> "Scenario":
+        """A modified copy (``dataclasses.replace`` with a shorter name)."""
+        return replace(self, **changes)
+
+    def with_overrides(self, pairs: Mapping[str, str] | list[str]) -> "Scenario":
+        """Apply CLI-style ``key=value`` overrides (values parsed as JSON
+        first, then as comma-separated lists, then as bare strings)."""
+        if not isinstance(pairs, Mapping):
+            parsed: dict[str, str] = {}
+            for item in pairs:
+                key, sep, value = str(item).partition("=")
+                if not sep:
+                    raise ValueError(f"override {item!r} is not KEY=VALUE")
+                parsed[key.strip()] = value
+            pairs = parsed
+        known = {f.name for f in fields(self)}
+        changes: dict[str, Any] = {}
+        for key, raw in pairs.items():
+            if key not in known:
+                raise ValueError(
+                    f"unknown scenario field {key!r}; choose from {sorted(known)}"
+                )
+            changes[key] = _parse_override(raw)
+        return self.with_(**changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-able dict (tuples become lists)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, dict):
+                # Spec values are already list-canonical (__post_init__);
+                # copy so callers cannot mutate the frozen scenario.
+                value = {
+                    k: list(v) if isinstance(v, list) else v
+                    for k, v in value.items()
+                }
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown scenario fields {unknown}")
+        kwargs = dict(data)
+        for key in _TUPLE_FIELDS:
+            if key in kwargs and kwargs[key] is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Bridges to the legacy config surface
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_preset(
+        cls,
+        scale: str,
+        dataset: str = "mnist_o",
+        schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL"),
+        seeds: tuple[int, ...] = (0,),
+        **overrides: Any,
+    ) -> "Scenario":
+        """Bridge the existing ``smoke``/``bench``/``paper`` presets."""
+        from ..sim.config import preset
+
+        scenario = cls.from_config(preset(scale, dataset), schemes=schemes, seeds=seeds)
+        return scenario.with_(**overrides) if overrides else scenario
+
+    @classmethod
+    def from_config(
+        cls,
+        cfg,
+        schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL"),
+        seeds: tuple[int, ...] = (0,),
+    ) -> "Scenario":
+        """Lift an :class:`~repro.sim.config.ExperimentConfig` to a Scenario."""
+        ac = cfg.auction
+        return cls(
+            name=cfg.name,
+            dataset=cfg.dataset,
+            n_clients=cfg.n_clients,
+            k_winners=cfg.k_winners,
+            test_per_class=cfg.test_per_class,
+            size_range=cfg.size_range,
+            min_classes=cfg.min_classes,
+            max_classes=cfg.max_classes,
+            availability_min_fraction=cfg.availability_min_fraction,
+            theta_jitter=cfg.theta_jitter,
+            data_seed=cfg.data_seed,
+            n_rounds=cfg.n_rounds,
+            local_epochs=cfg.local_epochs,
+            batch_size=cfg.batch_size,
+            max_batches_per_round=cfg.max_batches_per_round,
+            lr=cfg.lr,
+            model_width=cfg.model_width,
+            image_size=cfg.image_size,
+            scoring={"name": "multiplicative", "n_dimensions": 2, "scale": ac.score_scale},
+            cost={"name": "linear", "betas": list(ac.cost_betas)},
+            theta={"name": "uniform", "lo": ac.theta_lo, "hi": ac.theta_hi},
+            payment_rule=ac.payment_rule,
+            win_model=ac.win_model,
+            payment_method=ac.payment_method,
+            psi=ac.psi,
+            grid_size=ac.grid_size,
+            schemes=tuple(schemes),
+            seeds=tuple(seeds),
+        )
+
+    def to_config(self):
+        """Project back to an :class:`~repro.sim.config.ExperimentConfig`.
+
+        Only the paper's canonical component families (multiplicative
+        score, linear cost, uniform types) fit the legacy config; other
+        registry specs raise — run those through the engine directly.
+        """
+        from ..sim.config import AuctionConfig, ExperimentConfig
+
+        for spec_name, expected in (("scoring", "multiplicative"), ("cost", "linear"), ("theta", "uniform")):
+            spec = getattr(self, spec_name)
+            if spec.get("name") != expected:
+                raise ValueError(
+                    f"cannot express {spec_name} spec {spec!r} as an "
+                    f"ExperimentConfig (needs {expected!r}); use FMoreEngine"
+                )
+        auction = AuctionConfig(
+            theta_lo=float(self.theta["lo"]),
+            theta_hi=float(self.theta["hi"]),
+            score_scale=float(self.scoring.get("scale", 25.0)),
+            cost_betas=tuple(float(b) for b in self.cost["betas"]),
+            payment_rule=self.payment_rule,
+            win_model=self.win_model,
+            payment_method=self.payment_method,
+            psi=self.psi,
+            grid_size=self.grid_size,
+        )
+        return ExperimentConfig(
+            name=self.name,
+            dataset=self.dataset,
+            n_clients=self.n_clients,
+            k_winners=self.k_winners,
+            n_rounds=self.n_rounds,
+            local_epochs=self.local_epochs,
+            batch_size=self.batch_size,
+            max_batches_per_round=self.max_batches_per_round,
+            lr=self.lr,
+            model_width=self.model_width,
+            image_size=self.image_size,
+            test_per_class=self.test_per_class,
+            size_range=self.size_range,
+            min_classes=self.min_classes,
+            max_classes=self.max_classes,
+            availability_min_fraction=self.availability_min_fraction,
+            theta_jitter=self.theta_jitter,
+            data_seed=self.data_seed,
+            auction=auction,
+        )
+
+
+def _detuple(value: Any) -> Any:
+    """Canonicalise spec values: tuples -> lists (JSON equivalence)."""
+    if isinstance(value, tuple):
+        return [_detuple(v) for v in value]
+    if isinstance(value, list):
+        return [_detuple(v) for v in value]
+    return value
+
+
+def _parse_override(raw: Any) -> Any:
+    """Best-effort parse of a CLI override value."""
+    if not isinstance(raw, str):
+        return raw
+    text = raw.strip()
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        pass
+    if "," in text:
+        return [_parse_override(part) for part in text.split(",") if part.strip()]
+    lowered = text.lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    return text

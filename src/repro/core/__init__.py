@@ -46,6 +46,14 @@ from .properties import (
     realized_social_surplus,
     social_surplus,
 )
+from .registry import (
+    COST_MODELS,
+    MARGIN_METHODS,
+    SCORING_RULES,
+    THETA_DISTRIBUTIONS,
+    WINNER_SELECTIONS,
+    Registry,
+)
 from .psi import (
     PerNodePsiSelection,
     PsiSelection,
@@ -72,6 +80,13 @@ from .valuation import (
 )
 
 __all__ = [
+    # registries (the payment-rule registry lives at repro.core.registry)
+    "Registry",
+    "SCORING_RULES",
+    "COST_MODELS",
+    "THETA_DISTRIBUTIONS",
+    "WINNER_SELECTIONS",
+    "MARGIN_METHODS",
     # scoring
     "ScoringRule",
     "AdditiveScore",

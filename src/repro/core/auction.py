@@ -17,10 +17,49 @@ import numpy as np
 
 from .bids import AuctionWinner, Bid, ScoredBid
 from .psi import TopKSelection, WinnerSelection
+from .registry import PAYMENT_RULES as PAYMENT_RULE_REGISTRY
 from .scoring import QuasiLinearScoringRule, ScoringRule
 
-__all__ = ["AuctionOutcome", "MultiDimensionalProcurementAuction", "PAYMENT_RULES"]
+__all__ = [
+    "AuctionOutcome",
+    "MultiDimensionalProcurementAuction",
+    "PAYMENT_RULES",
+    "first_score_payment",
+    "second_score_payment",
+]
 
+
+@PAYMENT_RULE_REGISTRY.register("first_score")
+def first_score_payment(
+    scored: list[ScoredBid],
+    positions: list[int],
+    scoring: QuasiLinearScoringRule,
+) -> list[float]:
+    """Pay-as-bid: each winner is charged exactly what it asked (paper default)."""
+    return [float(scored[pos].bid.payment) for pos in positions]
+
+
+@PAYMENT_RULE_REGISTRY.register("second_score")
+def second_score_payment(
+    scored: list[ScoredBid],
+    positions: list[int],
+    scoring: QuasiLinearScoringRule,
+) -> list[float]:
+    """Each winner is paid the amount making its score equal the best
+    rejected score, ``p_i = s(q_i) - S_(K+1)``, floored at its ask (reserve
+    score 0 when nothing was rejected)."""
+    rejected = [sb.score for i, sb in enumerate(scored) if i not in set(positions)]
+    reference = float(max(rejected)) if rejected else 0.0
+    charges: list[float] = []
+    for pos in positions:
+        sb = scored[pos]
+        s_value = scoring.score(sb.bid.quality, 0.0)
+        charges.append(float(max(s_value - reference, sb.bid.payment)))
+    return charges
+
+
+# Legacy tuple view of the registered rule names (kept as a stable export;
+# third-party rules registered at runtime are accepted by the auction too).
 PAYMENT_RULES = ("first_score", "second_score")
 
 
@@ -93,11 +132,13 @@ class MultiDimensionalProcurementAuction:
         if k_winners < 1:
             raise ValueError("k_winners must be >= 1")
         self.k_winners = int(k_winners)
-        if payment_rule not in PAYMENT_RULES:
+        if payment_rule not in PAYMENT_RULE_REGISTRY:
             raise ValueError(
-                f"unknown payment rule {payment_rule!r}; choose from {PAYMENT_RULES}"
+                f"unknown payment rule {payment_rule!r}; choose from "
+                f"{list(PAYMENT_RULE_REGISTRY.names())}"
             )
         self.payment_rule = payment_rule
+        self._charge_policy = PAYMENT_RULE_REGISTRY.get(payment_rule)
         self.selection = selection if selection is not None else TopKSelection()
 
     def score_bid(self, bid: Bid) -> float:
@@ -138,33 +179,18 @@ class MultiDimensionalProcurementAuction:
         return min(self.k_winners, n_bids)
 
     def _charge(self, scored: list[ScoredBid], positions: list[int]) -> list[AuctionWinner]:
+        charges = self._charge_policy(scored, positions, self.scoring)
         winners: list[AuctionWinner] = []
-        if self.payment_rule == "second_score":
-            reference_score = self._reference_score(scored, positions)
-        for rank, pos in enumerate(positions):
+        for rank, (pos, charged) in enumerate(zip(positions, charges)):
             sb = scored[pos]
-            asked = sb.bid.payment
-            if self.payment_rule == "first_score":
-                charged = asked
-            else:
-                s_value = self.scoring.score(sb.bid.quality, 0.0)
-                charged = max(s_value - reference_score, asked)
             winners.append(
                 AuctionWinner(
                     node_id=sb.node_id,
                     quality=sb.bid.quality,
-                    asked_payment=float(asked),
+                    asked_payment=float(sb.bid.payment),
                     charged_payment=float(charged),
                     score=sb.score,
                     rank=rank,
                 )
             )
         return winners
-
-    @staticmethod
-    def _reference_score(scored: list[ScoredBid], positions: list[int]) -> float:
-        """Best score among rejected bids (reserve 0 when none rejected)."""
-        rejected = [sb.score for i, sb in enumerate(scored) if i not in set(positions)]
-        if not rejected:
-            return 0.0
-        return float(max(rejected))

@@ -31,6 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .registry import COST_MODELS
+
 __all__ = [
     "CostModel",
     "LinearCost",
@@ -82,10 +84,24 @@ class CostModel(ABC):
             return np.asarray([self.cost(q, theta)])
         return np.asarray([self.cost(row, theta) for row in q])
 
+    def cost_rows(self, qualities: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        """``c(q_i, theta_i)`` for paired rows — the batch-bidding hot path.
+
+        Generic fallback loops over rows; the concrete families override
+        with fully vectorised NumPy expressions so a whole population's
+        bids price in one call (see ``EquilibriumSolver.bid_batch``).
+        """
+        q = np.atleast_2d(self._check(qualities))
+        t = np.asarray(thetas, dtype=float)
+        if t.shape != (q.shape[0],):
+            raise ValueError("thetas must have one entry per quality row")
+        return np.asarray([self.cost(row, float(th)) for row, th in zip(q, t)])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(betas={self.betas.tolist()})"
 
 
+@COST_MODELS.register("linear")
 class LinearCost(CostModel):
     """Additive linear cost ``c(q, theta) = theta * sum_i beta_i q_i``.
 
@@ -109,7 +125,13 @@ class LinearCost(CostModel):
         q = self._check(qualities)
         return theta * (q @ self.betas)
 
+    def cost_rows(self, qualities: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        q = np.atleast_2d(self._check(qualities))
+        t = np.asarray(thetas, dtype=float)
+        return t * (q @ self.betas)
 
+
+@COST_MODELS.register("quadratic")
 class QuadraticCost(CostModel):
     """Strictly convex cost ``c(q, theta) = theta * sum_i beta_i q_i**2``.
 
@@ -134,7 +156,13 @@ class QuadraticCost(CostModel):
         q = self._check(qualities)
         return theta * ((q * q) @ self.betas)
 
+    def cost_rows(self, qualities: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        q = np.atleast_2d(self._check(qualities))
+        t = np.asarray(thetas, dtype=float)
+        return t * ((q * q) @ self.betas)
 
+
+@COST_MODELS.register("power")
 class PowerCost(CostModel):
     """Power cost ``c(q, theta) = theta * sum_i beta_i q_i**gamma_i``.
 
@@ -173,6 +201,11 @@ class PowerCost(CostModel):
     def cost_batch(self, qualities: np.ndarray, theta: float) -> np.ndarray:
         q = self._check(qualities)
         return theta * (np.power(np.maximum(q, 0.0), self.gammas) @ self.betas)
+
+    def cost_rows(self, qualities: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        q = np.atleast_2d(self._check(qualities))
+        t = np.asarray(thetas, dtype=float)
+        return t * (np.power(np.maximum(q, 0.0), self.gammas) @ self.betas)
 
 
 @dataclass(frozen=True)

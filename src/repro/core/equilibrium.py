@@ -353,6 +353,62 @@ class EquilibriumSolver:
         u = self.quality_rule.value(q) - own_cost
         return q, float(own_cost + self.margin_at_score(u))
 
+    def bid_batch(
+        self,
+        thetas: Sequence[float] | np.ndarray,
+        capacities: np.ndarray | None = None,
+        with_costs: bool = False,
+    ):
+        """Equilibrium bids for a whole population in one NumPy call.
+
+        ``thetas`` is an ``(n,)`` vector of private types; ``capacities``
+        (optional) an ``(n, m)`` array of per-node quality caps.  Returns
+        ``(Q, P)`` where ``Q`` is ``(n, m)`` qualities and ``P`` the
+        ``(n,)`` asked payments (``(Q, P, costs)`` with
+        ``with_costs=True``, saving the caller a re-pricing pass for IR
+        checks).  Row ``i`` equals :meth:`bid` (no caps) or
+        :meth:`bid_with_capacity` (with caps) for ``(thetas[i],
+        capacities[i])`` — same table interpolations, vectorised — which is
+        what lets :class:`~repro.core.mechanism.FMoreMechanism` collect all
+        N bids of a round without N Python-level solver round-trips.
+        """
+        t = np.asarray(thetas, dtype=float)
+        if t.ndim != 1:
+            raise ValueError("thetas must be a 1-D vector")
+        dist = self.model.distribution
+        if t.size and not (
+            t.min() >= dist.lo - 1e-9 and t.max() <= dist.hi + 1e-9
+        ):
+            raise ValueError(
+                f"thetas outside the type support [{dist.lo}, {dist.hi}]"
+            )
+        m = self.quality_rule.n_dimensions
+        qualities = np.empty((t.size, m))
+        for j in range(m):
+            qualities[:, j] = np.interp(t, self.theta_grid, self.quality_grid[:, j])
+        if capacities is None:
+            # Uncapped path mirrors bid(): u comes from the tabulated
+            # envelope u0(theta), not from re-evaluating s(q) - c(q, theta).
+            costs = self.cost.cost_rows(qualities, t)
+            u = np.interp(t, self.theta_grid, self.u0_grid)
+        else:
+            cap = np.asarray(capacities, dtype=float)
+            if cap.shape != (t.size, m):
+                raise ValueError("capacities must be an (n, m) array")
+            qualities = np.clip(
+                qualities,
+                self.quality_bounds[:, 0],
+                np.minimum(cap, self.quality_bounds[:, 1]),
+            )
+            costs = self.cost.cost_rows(qualities, t)
+            u = self.quality_rule.value_batch(qualities) - costs
+        grid = self._margin_grid()
+        margins = np.interp(u, self.u_incr, grid, left=0.0, right=grid[-1])
+        payments = costs + margins
+        if with_costs:
+            return qualities, payments, costs
+        return qualities, payments
+
     # ------------------------------------------------------------------
     # Cross-checks and population sweeps
     # ------------------------------------------------------------------

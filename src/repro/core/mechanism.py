@@ -29,12 +29,45 @@ __all__ = ["BiddingAgent", "RoundAccounting", "MechanismRound", "FMoreMechanism"
 BID_ASK_BYTES_PER_NODE = 64
 FLOAT_BYTES = 8
 
+_BATCH_SAFE_CACHE: dict[type, bool] = {}
+
+
+def _batch_safe(cls: type) -> bool:
+    """Whether ``cls`` may be priced through the batched fast path.
+
+    The fast path replays ``make_bid``'s contract (``bid_inputs`` + solver
+    batch pricing + IR check), so it is only valid when the most-derived
+    ``make_bid`` is the one paired with a ``bid_inputs`` in the same class
+    — a subclass that overrides ``make_bid`` alone (custom shading, extra
+    abstention rules) must go through its own override, not be silently
+    bypassed.  A class defining *both* methods asserts the pair is
+    consistent, like :class:`repro.mec.node.EdgeNode` does.
+    """
+    cached = _BATCH_SAFE_CACHE.get(cls)
+    if cached is None:
+        cached = False
+        for klass in cls.__mro__:
+            if "make_bid" in vars(klass):
+                cached = "bid_inputs" in vars(klass)
+                break
+        _BATCH_SAFE_CACHE[cls] = cached
+    return cached
+
 
 class BiddingAgent(Protocol):
     """Anything that can answer a bid ask.
 
     ``make_bid`` may return ``None`` to abstain (e.g. the node's IR
     constraint fails or it has no spare resources this round).
+
+    Agents that additionally expose ``bid_inputs(round_index, rng) ->
+    (theta, capacity)`` together with a ``solver`` carrying ``bid_batch``
+    (see :class:`repro.mec.node.EdgeNode`) are priced in one vectorised
+    solver call per round instead of one Python round-trip per agent;
+    ``make_bid`` remains the semantic reference for both paths.  The fast
+    path engages only when the most-derived ``make_bid`` is defined by the
+    same class as a ``bid_inputs`` (see ``_batch_safe``) — overriding
+    ``make_bid`` alone opts a subclass back into the per-agent loop.
     """
 
     node_id: int
@@ -92,10 +125,9 @@ class FMoreMechanism:
 
         bids: list[Bid] = []
         abstained: list[int] = []
-        for agent in agents:
-            bid = agent.make_bid(round_index, rng)
+        for bid, node_id in self._collect_bids(agents, round_index, rng):
             if bid is None:
-                abstained.append(agent.node_id)
+                abstained.append(node_id)
                 continue
             bids.append(bid)
             accounting.uplink_bytes += FLOAT_BYTES * (bid.n_dimensions + 1)
@@ -110,6 +142,50 @@ class FMoreMechanism:
         record = MechanismRound(round_index, outcome, accounting, abstained)
         self.history.append(record)
         return record
+
+    def _collect_bids(
+        self,
+        agents: Sequence[BiddingAgent],
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> list[tuple[Bid | None, int]]:
+        """Sealed bids in agent order, batching solver-backed agents.
+
+        RNG draws happen in a single pass over the agents (identical
+        stream to calling ``make_bid`` per agent); the solver maths — the
+        expensive part — is deferred and executed as one
+        ``EquilibriumSolver.bid_batch`` call per distinct solver.
+        """
+        entries: list[tuple[BiddingAgent, float, np.ndarray] | tuple[BiddingAgent, Bid | None]] = []
+        groups: dict[int, tuple[object, list[int]]] = {}
+        for i, agent in enumerate(agents):
+            solver = getattr(agent, "solver", None)
+            if _batch_safe(type(agent)) and hasattr(solver, "bid_batch"):
+                theta, capacity = agent.bid_inputs(round_index, rng)
+                entries.append((agent, float(theta), np.asarray(capacity, dtype=float)))
+                groups.setdefault(id(solver), (solver, []))[1].append(i)
+            else:
+                entries.append((agent, agent.make_bid(round_index, rng)))
+
+        resolved: dict[int, Bid | None] = {}
+        for solver, idxs in groups.values():
+            thetas = np.asarray([entries[i][1] for i in idxs], dtype=float)
+            caps = np.vstack([entries[i][2] for i in idxs])
+            qualities, payments, costs = solver.bid_batch(thetas, caps, with_costs=True)
+            margins = payments - costs
+            for j, i in enumerate(idxs):
+                agent = entries[i][0]
+                min_margin = float(getattr(agent, "min_margin", 0.0))
+                if margins[j] < min_margin - 1e-12:
+                    resolved[i] = None
+                else:
+                    resolved[i] = Bid(agent.node_id, qualities[j].copy(), float(payments[j]))
+
+        out: list[tuple[Bid | None, int]] = []
+        for i, entry in enumerate(entries):
+            bid = resolved[i] if i in resolved else entry[1]
+            out.append((bid, entry[0].node_id))
+        return out
 
     # ------------------------------------------------------------------
     # Aggregate accounting over all rounds (lightweightness evidence)
@@ -128,13 +204,19 @@ class FMoreMechanism:
         The paper argues the bid exchange is negligible next to shipping
         model parameters; with per-round traffic ``K`` downloads + ``K``
         uploads of ``model_bytes`` this returns the measured ratio.
+
+        Degenerate histories are handled consistently: with no model
+        traffic at all (no rounds, no winners ever, or ``model_bytes=0``)
+        the ratio is 0.0 when no auction bytes moved either, and
+        ``float("inf")`` when the auction *did* move bytes against zero
+        model traffic.
         """
         if not self.history:
             return 0.0
         k = max(
-            (len(r.outcome.winners) for r in self.history), default=1
+            (len(r.outcome.winners) for r in self.history), default=0
         )
         model_traffic = 2 * k * model_bytes * len(self.history)
-        if model_traffic == 0:
-            return float("inf")
+        if model_traffic <= 0:
+            return 0.0 if self.total_auction_bytes == 0 else float("inf")
         return self.total_auction_bytes / model_traffic

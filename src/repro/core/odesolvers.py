@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .registry import MARGIN_METHODS
+
 __all__ = [
     "quadrature_margin",
     "euler_margin",
@@ -136,3 +138,8 @@ MARGIN_BACKENDS = {
     "euler": euler_margin,
     "rk4": rk4_margin,
 }
+
+# Same three backends under the registry surface used by repro.api specs.
+for _name, _fn in MARGIN_BACKENDS.items():
+    MARGIN_METHODS.register(_name, _fn)
+del _name, _fn

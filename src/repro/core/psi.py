@@ -22,6 +22,8 @@ from abc import ABC, abstractmethod
 import numpy as np
 from scipy.special import comb
 
+from .registry import WINNER_SELECTIONS
+
 __all__ = [
     "WinnerSelection",
     "TopKSelection",
@@ -40,6 +42,7 @@ class WinnerSelection(ABC):
         """Return winning *positions* (indices into the sorted-desc order)."""
 
 
+@WINNER_SELECTIONS.register("top_k")
 class TopKSelection(WinnerSelection):
     """Deterministic FMore rule: the best K scores win."""
 
@@ -47,6 +50,7 @@ class TopKSelection(WinnerSelection):
         return list(range(min(k_winners, n_bids)))
 
 
+@WINNER_SELECTIONS.register("psi")
 class PsiSelection(WinnerSelection):
     """psi-FMore: admit each node in score order with probability ``psi``.
 
@@ -81,6 +85,7 @@ class PsiSelection(WinnerSelection):
         return f"PsiSelection(psi={self.psi})"
 
 
+@WINNER_SELECTIONS.register("per_node_psi")
 class PerNodePsiSelection(WinnerSelection):
     """psi-FMore with rank-dependent admission probabilities.
 

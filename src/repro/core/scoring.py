@@ -29,6 +29,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .registry import SCORING_RULES
+
 __all__ = [
     "ScoringRule",
     "AdditiveScore",
@@ -102,6 +104,7 @@ class ScoringRule(ABC):
         return f"{type(self).__name__}(weights={self.weights.tolist()})"
 
 
+@SCORING_RULES.register("additive")
 class AdditiveScore(ScoringRule):
     """Perfect-substitution rule ``s(q) = sum_i alpha_i q_i``.
 
@@ -123,6 +126,7 @@ class AdditiveScore(ScoringRule):
         return q @ self.weights
 
 
+@SCORING_RULES.register("perfect_complementary")
 class PerfectComplementaryScore(ScoringRule):
     """Leontief rule ``s(q) = min_i alpha_i q_i``.
 
@@ -148,6 +152,7 @@ class PerfectComplementaryScore(ScoringRule):
         return np.min(q * self.weights, axis=-1)
 
 
+@SCORING_RULES.register("cobb_douglas")
 class CobbDouglasScore(ScoringRule):
     """Generalised Cobb-Douglas rule ``s(q) = scale * prod_i q_i**alpha_i``.
 
@@ -197,6 +202,7 @@ class CobbDouglasScore(ScoringRule):
         return self.scale * np.prod(terms, axis=-1)
 
 
+@SCORING_RULES.register("multiplicative")
 class MultiplicativeScore(ScoringRule):
     """Simulation rule ``s(q) = scale * prod_i q_i`` (paper Section V-A).
 

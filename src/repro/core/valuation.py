@@ -20,6 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from .registry import THETA_DISTRIBUTIONS
+
 __all__ = [
     "ThetaDistribution",
     "UniformTheta",
@@ -63,6 +65,7 @@ class ThetaDistribution(ABC):
         return f"{type(self).__name__}(lo={self.lo}, hi={self.hi})"
 
 
+@THETA_DISTRIBUTIONS.register("uniform")
 class UniformTheta(ThetaDistribution):
     """``theta ~ Uniform[lo, hi]`` — the workhorse of the simulations."""
 
@@ -83,6 +86,7 @@ class UniformTheta(ThetaDistribution):
         return out if out.ndim else float(out)
 
 
+@THETA_DISTRIBUTIONS.register("truncated_normal")
 class TruncatedNormalTheta(ThetaDistribution):
     """Normal(mu, sigma) truncated to ``[lo, hi]``.
 
@@ -113,6 +117,7 @@ class TruncatedNormalTheta(ThetaDistribution):
         return out if np.ndim(out) else float(out)
 
 
+@THETA_DISTRIBUTIONS.register("scaled_beta")
 class ScaledBetaTheta(ThetaDistribution):
     """Beta(a, b) rescaled onto ``[lo, hi]``.
 

@@ -106,15 +106,29 @@ class EdgeNode:
             np.clip(self.theta + rng.uniform(-width, width), dist.lo, dist.hi)
         )
 
+    def bid_inputs(
+        self, round_index: int, rng: np.random.Generator
+    ) -> tuple[float, np.ndarray]:
+        """This round's ``(theta, capacity)`` — the rng-consuming half of a bid.
+
+        Draws the round's resource availability and re-estimated type in
+        the same order :meth:`make_bid` always has, then stops *before*
+        the solver maths.  :class:`~repro.core.mechanism.FMoreMechanism`
+        calls this for every agent and prices all collected inputs in one
+        vectorised ``EquilibriumSolver.bid_batch`` call per solver.
+        """
+        available = self.available_profile(round_index, rng)
+        capacity = np.asarray(self.quality_extractor(available), dtype=float)
+        theta = self.effective_theta(rng)
+        return theta, capacity
+
     def make_bid(self, round_index: int, rng: np.random.Generator) -> Bid | None:
         """Answer a bid ask with the capacity-capped equilibrium bid.
 
         Returns ``None`` (abstains) when the expected profit margin of the
         achievable bid is below ``min_margin`` — individual rationality.
         """
-        available = self.available_profile(round_index, rng)
-        capacity = self.quality_extractor(available)
-        theta = self.effective_theta(rng)
+        theta, capacity = self.bid_inputs(round_index, rng)
         quality, payment = self.solver.bid_with_capacity(theta, capacity)
         margin = payment - self.solver.cost.cost(quality, theta)
         if margin < self.min_margin - 1e-12:

@@ -1,48 +1,37 @@
-"""Experiment assembly: federation, auction environment, scheme runners.
+"""Legacy experiment builders — thin shims over :mod:`repro.api`.
 
-This module is the glue the figures are made of.  From an
-:class:`~repro.sim.config.ExperimentConfig` it builds
+Historically this module hand-assembled the federation, the auction
+environment and the scheme runners from an
+:class:`~repro.sim.config.ExperimentConfig`.  That assembly now lives in
+the registry-driven :mod:`repro.api.engine`; the functions here keep
+their exact signatures and behaviour (same RNG streams, same histories)
+by lifting the config to a :class:`~repro.api.Scenario` and delegating.
 
-* the **federation** — synthetic dataset generator, heterogeneous non-IID
-  clients, held-out test set (shared across schemes for fair comparison),
-* the **auction environment** — the equilibrium solver for the advertised
-  game and one :class:`~repro.mec.node.EdgeNode` bidding agent per client,
-* the **schemes** — RandFL / FixFL / FMore / psi-FMore selection strategies
-  wired into :class:`~repro.fl.trainer.FederatedTrainer` instances sharing
-  the same initial global weights,
+New code should prefer the declarative surface directly::
 
-and runs them, returning :class:`~repro.fl.trainer.TrainingHistory` series.
+    from repro.api import FMoreEngine, Scenario
+
+    result = FMoreEngine().run(Scenario.from_preset("bench", "mnist_o"))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..core.auction import MultiDimensionalProcurementAuction
-from ..core.costs import LinearCost
-from ..core.equilibrium import EquilibriumSolver
-from ..core.mechanism import FMoreMechanism
-from ..core.psi import PsiSelection, TopKSelection
-from ..core.scoring import MultiplicativeScore
-from ..core.valuation import PrivateValueModel, UniformTheta
-from ..fl.client import FLClient
-from ..fl.datasets import DataGenerator, make_generator
-from ..fl.models import build_model
-from ..fl.partition import ClientData, heterogeneous_specs, materialize_clients
-from ..fl.selection import (
-    AuctionSelection,
-    FixedSelection,
-    RandomSelection,
-    SelectionStrategy,
+from ..api.engine import (
+    SAMPLES_PER_QUALITY_UNIT,
+    Federation,
+    FMoreEngine,
 )
-from ..fl.server import FedAvgServer
-from ..fl.trainer import FederatedTrainer, RoundTimer, TrainingHistory
+from ..api.engine import build_agents as _build_agents
+from ..api.engine import build_federation as _build_federation
+from ..api.engine import build_selection as _build_selection
+from ..api.engine import build_solver as _build_solver
+from ..api.engine import run_scheme as _run_scheme
+from ..api.scenario import SCHEME_NAMES, Scenario
+from ..core.equilibrium import EquilibriumSolver
+from ..fl.selection import SelectionStrategy
+from ..fl.trainer import RoundTimer, TrainingHistory
 from ..mec.node import EdgeNode
-from ..mec.resources import ResourceProfile, UniformAvailabilityDynamics
 from .config import ExperimentConfig
-from .rng import rng_from
 
 __all__ = [
     "SCHEMES",
@@ -55,25 +44,7 @@ __all__ = [
     "run_comparison",
 ]
 
-SCHEMES = ("FMore", "RandFL", "FixFL", "PsiFMore")
-
-SAMPLES_PER_QUALITY_UNIT = 1000.0  # q1 is data size in kilosamples
-
-
-@dataclass
-class Federation:
-    """Everything schemes must share for a fair comparison."""
-
-    generator: DataGenerator
-    clients_data: list[ClientData]
-    test_x: np.ndarray
-    test_y: np.ndarray
-    thetas: np.ndarray
-    initial_weights: list[np.ndarray] = field(default_factory=list)
-
-    @property
-    def n_clients(self) -> int:
-        return len(self.clients_data)
+SCHEMES = SCHEME_NAMES
 
 
 def build_federation(cfg: ExperimentConfig, seed: int) -> Federation:
@@ -83,23 +54,7 @@ def build_federation(cfg: ExperimentConfig, seed: int) -> Federation:
     identical data and identical theta draws, as the paper's comparisons
     require.
     """
-    data_rng = rng_from(seed, f"data-{cfg.name}")
-    theta_rng = rng_from(seed, f"theta-{cfg.name}")
-    generator = make_generator(cfg.dataset, seed=cfg.data_seed, image_size=cfg.image_size)
-    specs = heterogeneous_specs(
-        cfg.n_clients,
-        generator.n_classes,
-        data_rng,
-        size_range=cfg.size_range,
-        min_classes=cfg.min_classes,
-        max_classes=cfg.max_classes,
-    )
-    clients_data = materialize_clients(generator, specs, data_rng)
-    test_x, test_y = generator.test_set(cfg.test_per_class, data_rng)
-    thetas = UniformTheta(cfg.auction.theta_lo, cfg.auction.theta_hi).sample(
-        theta_rng, cfg.n_clients
-    )
-    return Federation(generator, clients_data, test_x, test_y, np.asarray(thetas))
+    return _build_federation(Scenario.from_config(cfg), seed)
 
 
 def build_solver(
@@ -112,24 +67,8 @@ def build_solver(
     Scoring ``s(q) = alpha * q1 * q2`` over (kilosamples, category
     proportion); linear cost; uniform types — Section V-A's setup.
     """
-    ac = cfg.auction
-    rule = MultiplicativeScore(n_dimensions=2, scale=ac.score_scale)
-    cost = LinearCost(ac.cost_betas)
-    model = PrivateValueModel(
-        UniformTheta(ac.theta_lo, ac.theta_hi),
-        n_nodes=n_clients if n_clients is not None else cfg.n_clients,
-        k_winners=k_winners if k_winners is not None else cfg.k_winners,
-    )
-    hi_q1 = cfg.size_range[1] / SAMPLES_PER_QUALITY_UNIT
-    bounds = [[0.01, hi_q1], [0.05, 1.0]]
-    return EquilibriumSolver(
-        rule,
-        cost,
-        model,
-        bounds,
-        win_model=ac.win_model,
-        payment_method=ac.payment_method,
-        grid_size=ac.grid_size,
+    return _build_solver(
+        Scenario.from_config(cfg), n_clients=n_clients, k_winners=k_winners
     )
 
 
@@ -139,27 +78,7 @@ def build_agents(
     solver: EquilibriumSolver,
 ) -> list[EdgeNode]:
     """One bidding agent per client, capacity = its actual local data."""
-    agents: list[EdgeNode] = []
-    for data, theta in zip(federation.clients_data, federation.thetas):
-        profile = ResourceProfile(
-            data_size=data.size,
-            category_proportion=max(data.category_proportion, 0.05),
-        )
-        agents.append(
-            EdgeNode(
-                node_id=data.client_id,
-                theta=float(theta),
-                solver=solver,
-                profile=profile,
-                dynamics=UniformAvailabilityDynamics(cfg.availability_min_fraction),
-                theta_jitter=cfg.theta_jitter,
-            )
-        )
-    return agents
-
-
-def _quality_to_samples(quality: np.ndarray) -> int:
-    return int(round(quality[0] * SAMPLES_PER_QUALITY_UNIT))
+    return _build_agents(Scenario.from_config(cfg), federation, solver)
 
 
 def build_selection(
@@ -170,45 +89,8 @@ def build_selection(
     solver: EquilibriumSolver | None = None,
 ) -> SelectionStrategy:
     """Construct the selection strategy for a scheme name."""
-    client_ids = [c.client_id for c in federation.clients_data]
-    if scheme == "RandFL":
-        return RandomSelection(client_ids, cfg.k_winners)
-    if scheme == "FixFL":
-        return FixedSelection(client_ids, cfg.k_winners, rng_from(seed, "fixfl"))
-    if scheme in ("FMore", "PsiFMore"):
-        if solver is None:
-            solver = build_solver(cfg)
-        agents = build_agents(cfg, federation, solver)
-        if scheme == "PsiFMore":
-            psi = cfg.auction.psi if cfg.auction.psi is not None else 0.8
-            policy = PsiSelection(psi)
-        else:
-            policy = TopKSelection()
-        auction = MultiDimensionalProcurementAuction(
-            solver.quality_rule,
-            cfg.k_winners,
-            payment_rule=cfg.auction.payment_rule,
-            selection=policy,
-        )
-        mechanism = FMoreMechanism(auction)
-        strategy = AuctionSelection(mechanism, agents, _quality_to_samples)
-        strategy.name = scheme
-        return strategy
-    raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
-
-
-def _build_global_model(cfg: ExperimentConfig, federation: Federation, seed: int):
-    vocab = None
-    if cfg.dataset == "hpnews":
-        vocab = federation.generator.spec.vocab_size  # type: ignore[attr-defined]
-    return build_model(
-        cfg.dataset,
-        federation.generator.input_shape,
-        federation.generator.n_classes,
-        rng_from(seed, "model-init"),
-        width=cfg.model_width,
-        lr=cfg.lr,
-        vocab_size=vocab,
+    return _build_selection(
+        Scenario.from_config(cfg), scheme, federation, seed, solver=solver
     )
 
 
@@ -225,34 +107,14 @@ def run_scheme(
     All schemes for a given ``(cfg, seed)`` share the federation and the
     initial global weights; only training randomness differs per scheme.
     """
-    if federation is None:
-        federation = build_federation(cfg, seed)
-    global_model = _build_global_model(cfg, federation, seed)
-    if federation.initial_weights:
-        global_model.set_weights(federation.initial_weights)
-    else:
-        federation.initial_weights = global_model.get_weights()
-    server = FedAvgServer(global_model)
-    clients = [
-        FLClient(
-            data,
-            local_epochs=cfg.local_epochs,
-            batch_size=cfg.batch_size,
-            max_batches_per_round=cfg.max_batches_per_round,
-        )
-        for data in federation.clients_data
-    ]
-    selection = build_selection(cfg, scheme, federation, seed, solver=solver)
-    trainer = FederatedTrainer(
-        server,
-        clients,
-        selection,
-        federation.test_x,
-        federation.test_y,
-        rng_from(seed, f"train-{scheme}"),
+    return _run_scheme(
+        Scenario.from_config(cfg),
+        scheme,
+        seed,
+        federation=federation,
         timer=timer,
+        solver=solver,
     )
-    return trainer.run(cfg.n_rounds)
 
 
 def run_comparison(
@@ -262,11 +124,6 @@ def run_comparison(
     timer: RoundTimer | None = None,
 ) -> dict[str, TrainingHistory]:
     """Run several schemes on the same federation (one figure's curves)."""
-    federation = build_federation(cfg, seed)
-    solver = None
-    if any(s in ("FMore", "PsiFMore") for s in schemes):
-        solver = build_solver(cfg)
-    return {
-        scheme: run_scheme(cfg, scheme, seed, federation=federation, timer=timer, solver=solver)
-        for scheme in schemes
-    }
+    engine = FMoreEngine(timer=timer)
+    scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=(seed,))
+    return engine.run(scenario).comparison()

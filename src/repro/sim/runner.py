@@ -11,9 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.engine import FMoreEngine
+from ..api.scenario import Scenario
 from ..fl.trainer import TrainingHistory
 from .config import ExperimentConfig
-from .experiment import run_comparison
 
 __all__ = ["SeriesStats", "average_histories", "run_seeds", "averaged_comparison"]
 
@@ -58,13 +59,15 @@ def run_seeds(
     seeds: tuple[int, ...],
     timer=None,
 ) -> dict[str, list[TrainingHistory]]:
-    """Repeat :func:`run_comparison` across seeds, grouped by scheme."""
-    grouped: dict[str, list[TrainingHistory]] = {s: [] for s in schemes}
-    for seed in seeds:
-        results = run_comparison(cfg, schemes, seed, timer=timer)
-        for scheme, history in results.items():
-            grouped[scheme].append(history)
-    return grouped
+    """Run all schemes across seeds, grouped by scheme.
+
+    One :class:`~repro.api.FMoreEngine` drives the whole plan, so the
+    equilibrium strategy tables of the (seed-independent) advertised game
+    are built exactly once and reused by every seed.
+    """
+    engine = FMoreEngine(timer=timer)
+    scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=tuple(seeds))
+    return engine.run(scenario).histories
 
 
 def averaged_comparison(

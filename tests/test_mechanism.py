@@ -91,3 +91,26 @@ class TestRunRound:
         record = mechanism.run_round([], 1, rng)
         assert record.outcome.winners == []
         assert record.accounting.n_asked == 0
+
+
+class TestOverheadGuards:
+    """Degenerate histories must not divide by a zero model traffic."""
+
+    def test_empty_history_is_zero(self, mechanism):
+        assert mechanism.overhead_relative_to_model(800_000) == 0.0
+
+    def test_zero_winner_history_with_traffic_is_inf(self, mechanism, rng):
+        agents = [StubAgent(i, [1.0, 1.0], 0.1, abstain=True) for i in range(5)]
+        mechanism.run_round(agents, 1, rng)
+        assert mechanism.total_auction_bytes > 0  # the ask still went out
+        assert mechanism.overhead_relative_to_model(800_000) == float("inf")
+
+    def test_no_traffic_at_all_is_zero(self, mechanism, rng):
+        mechanism.run_round([], 1, rng)  # a round happened, nothing moved
+        assert mechanism.total_auction_bytes == 0
+        assert mechanism.overhead_relative_to_model(800_000) == 0.0
+
+    def test_zero_model_bytes_with_traffic_is_inf(self, mechanism, rng):
+        agents = [StubAgent(i, [1.0, 1.0], 0.1) for i in range(3)]
+        mechanism.run_round(agents, 1, rng)
+        assert mechanism.overhead_relative_to_model(0) == float("inf")

@@ -16,9 +16,18 @@ class TestPackageSurface:
         assert repro.__version__ == "1.0.0"
 
     def test_subpackages_importable(self):
-        for name in ("core", "fl", "mec", "sim", "analysis"):
+        for name in ("core", "fl", "mec", "sim", "analysis", "api"):
             mod = importlib.import_module(f"repro.{name}")
             assert mod is not None
+
+    @pytest.mark.parametrize(
+        "symbol",
+        ["Scenario", "FMoreEngine", "RunResult", "Federation", "SCHEME_NAMES"],
+    )
+    def test_api_exports(self, symbol):
+        api = importlib.import_module("repro.api")
+        assert hasattr(api, symbol), f"repro.api.{symbol} missing"
+        assert symbol in api.__all__
 
     @pytest.mark.parametrize(
         "symbol",
@@ -113,6 +122,9 @@ class TestDocstrings:
         "module",
         [
             "repro",
+            "repro.api.scenario",
+            "repro.api.engine",
+            "repro.core.registry",
             "repro.core.scoring",
             "repro.core.costs",
             "repro.core.valuation",
