@@ -13,7 +13,8 @@ over equilibrium bids.
 from __future__ import annotations
 
 from repro.analysis import payment_score_sweep_n
-from repro.sim import preset, run_scheme
+from repro.api import Scenario, run_scheme
+from repro.sim import preset
 from repro.sim.reporting import paper_vs_measured, series_table
 from repro.sim.rng import rng_from
 
@@ -29,7 +30,7 @@ def _run(bench_solver):
     rows_9a = {}
     for n_clients in (15, 30):
         cfg = preset("bench", "mnist_o").with_(n_clients=n_clients, k_winners=6)
-        history = run_scheme(cfg, "FMore", SEED)
+        history = run_scheme(Scenario.from_config(cfg), "FMore", SEED)
         rows_9a[f"N={n_clients}"] = [history.rounds_to(t) for t in TARGETS]
 
     table_9a = series_table(

@@ -12,7 +12,8 @@ paper's K values (5..35) with N=100.
 from __future__ import annotations
 
 from repro.analysis import payment_score_sweep_k
-from repro.sim import preset, run_scheme
+from repro.api import Scenario, run_scheme
+from repro.sim import preset
 from repro.sim.reporting import paper_vs_measured, series_table
 from repro.sim.rng import rng_from
 
@@ -28,7 +29,7 @@ def _run(bench_solver):
     rows_10a = {}
     for k in (2, 10):
         cfg = preset("bench", "mnist_o").with_(k_winners=k)
-        history = run_scheme(cfg, "FMore", SEED)
+        history = run_scheme(Scenario.from_config(cfg), "FMore", SEED)
         rows_10a[f"K={k}"] = [history.rounds_to(t) for t in TARGETS]
 
     table_10a = series_table(

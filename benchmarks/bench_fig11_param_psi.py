@@ -20,8 +20,8 @@ from repro.core.auction import MultiDimensionalProcurementAuction
 from repro.core.mechanism import FMoreMechanism
 from repro.core.psi import PsiSelection
 from repro.fl.trainer import RoundRecord, TrainingHistory
-from repro.sim import build_agents, build_federation, build_solver, preset, run_scheme
-from repro.sim.config import AuctionConfig
+from repro.api import Scenario, build_agents, build_federation, build_solver, run_scheme
+from repro.sim import preset
 from repro.sim.reporting import paper_vs_measured, series_table
 from repro.sim.rng import rng_from
 
@@ -64,11 +64,11 @@ def _run():
     # faster, as in the paper's Fig 11a.  (In *small-data* regimes the
     # diversity bought by low psi compensates — Section III-C — which the
     # integration tests exercise separately.)
-    base = preset("bench", "mnist_o").with_(n_rounds=14)
+    base = Scenario.from_config(preset("bench", "mnist_o")).with_(n_rounds=14)
     rows_11a = {}
     final_acc = {}
     for psi in (0.3, 0.9):
-        cfg = base.with_(auction=AuctionConfig(psi=psi, grid_size=129))
+        cfg = base.with_(psi=psi, grid_size=129)
         history = run_scheme(cfg, "PsiFMore", SEED)
         rows_11a[f"psi={psi}"] = [history.rounds_to(t) for t in TARGETS]
         final_acc[psi] = history.final_accuracy
@@ -80,8 +80,8 @@ def _run():
     )
 
     # --- 11b: selected-node ranks vs psi (auction-only, 20-winner game) --
-    cfg_b = preset("bench", "mnist_o").with_(
-        n_clients=100, k_winners=20, auction=AuctionConfig(grid_size=129)
+    cfg_b = Scenario.from_config(preset("bench", "mnist_o")).with_(
+        n_clients=100, k_winners=20, grid_size=129
     )
     federation = build_federation(cfg_b, SEED)
     solver = build_solver(cfg_b)

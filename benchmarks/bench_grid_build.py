@@ -1,0 +1,184 @@
+"""Execution-layer benchmark: vectorised grid build + sweep executors.
+
+Two timings seed the performance trajectory of the unified execution
+layer:
+
+* **grid build** — ``optimize_quality_batch`` versus the per-point
+  ``optimize_quality`` loop at the paper's ``grid_size=257``, for each
+  closed-form family (additive scoring with linear/quadratic/power costs).
+  The batch pass must be bitwise-identical and at least 5x faster — that
+  bound is *asserted*, not just reported.
+* **sweep** — one tiny multi-seed scenario run through each registered
+  executor (serial/thread/process), recording wall-clock seconds and
+  verifying the histories agree.
+
+Run standalone (writes ``BENCH_grid_build.json`` for the CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_grid_build.py --quick
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_grid_build.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_grid_build.json"
+
+GRID_SIZE = 257
+MIN_SPEEDUP = 5.0
+
+
+def _families():
+    from repro.core.costs import LinearCost, PowerCost, QuadraticCost
+    from repro.core.scoring import AdditiveScore
+
+    rule = AdditiveScore([0.4, 0.3, 0.3])
+    return [
+        ("linear", rule, LinearCost([0.25, 0.25, 0.5])),
+        ("quadratic", rule, QuadraticCost([0.25, 0.25, 0.5])),
+        ("power", rule, PowerCost([0.25, 0.25, 0.5], [1.0, 1.5, 2.5])),
+    ]
+
+
+def time_grid_build(repeats: int = 5) -> dict:
+    """Loop-vs-batch timings per closed-form family (best of ``repeats``)."""
+    from repro.core.equilibrium import optimize_quality, optimize_quality_batch
+
+    bounds = np.asarray([[0.0, 1.0]] * 3, dtype=float)
+    thetas = np.linspace(0.1, 1.0, GRID_SIZE)
+    out: dict[str, dict] = {}
+    for name, rule, cost in _families():
+        batch = optimize_quality_batch(rule, cost, thetas, bounds)
+        loop = np.stack(
+            [optimize_quality(rule, cost, float(t), bounds) for t in thetas]
+        )
+        bitwise_equal = bool((batch == loop).all())
+
+        def best_of(fn):
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        loop_s = best_of(
+            lambda: [optimize_quality(rule, cost, float(t), bounds) for t in thetas]
+        )
+        batch_s = best_of(lambda: optimize_quality_batch(rule, cost, thetas, bounds))
+        out[name] = {
+            "grid_size": GRID_SIZE,
+            "loop_seconds": loop_s,
+            "batch_seconds": batch_s,
+            "speedup": loop_s / batch_s,
+            "bitwise_equal": bitwise_equal,
+        }
+    return out
+
+
+def time_sweeps(quick: bool = True) -> dict:
+    """Wall-clock of one multi-seed plan per executor (identical results)."""
+    from repro.api import EXECUTORS, FMoreEngine, Scenario
+
+    scenario = Scenario.from_preset(
+        "smoke",
+        "mnist_o",
+        schemes=("FMore", "RandFL"),
+        seeds=(0, 1) if quick else (0, 1, 2, 3),
+        n_rounds=1 if quick else 3,
+    )
+    out: dict[str, dict] = {}
+    reference = None
+    # Serial first: it is the bitwise reference the others must match.
+    names = ["serial"] + [n for n in EXECUTORS.names() if n != "serial"]
+    for name in names:
+        plan = scenario.with_(execution={"executor": name, "max_workers": 2})
+        t0 = time.perf_counter()
+        result = FMoreEngine().run(plan)
+        seconds = time.perf_counter() - t0
+        flat = {
+            scheme: [record for h in hists for record in h.records]
+            for scheme, hists in result.histories.items()
+        }
+        if reference is None:
+            reference = flat
+        out[name] = {
+            "seconds": seconds,
+            "cells": len(plan.schemes) * len(plan.seeds),
+            "matches_serial": flat == reference,
+        }
+    return out
+
+
+def run(quick: bool = True, out_path: Path | None = None) -> dict:
+    grid = time_grid_build(repeats=3 if quick else 7)
+    sweep = time_sweeps(quick=quick)
+    payload = {
+        "bench": "grid_build",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "grid_build": grid,
+        "sweep": sweep,
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_grid_build_batch_5x_and_bitwise():
+    """Acceptance: >=5x at grid_size=257 and bitwise-equal, every family."""
+    grid = time_grid_build(repeats=3)
+    for name, row in grid.items():
+        assert row["bitwise_equal"], f"{name}: batch differs from loop"
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{name}: {row['speedup']:.1f}x < {MIN_SPEEDUP}x "
+            f"(loop {row['loop_seconds']:.4f}s vs batch {row['batch_seconds']:.4f}s)"
+        )
+
+
+def test_sweep_executors_agree():
+    sweep = time_sweeps(quick=True)
+    assert set(sweep) >= {"serial", "thread", "process"}
+    for name, row in sweep.items():
+        assert row["matches_serial"], f"{name} diverged from serial"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="artifact path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick, out_path=args.out)
+    print(json.dumps(payload, indent=2))
+    failures = []
+    for name, row in payload["grid_build"].items():
+        if not row["bitwise_equal"] or row["speedup"] < MIN_SPEEDUP:
+            failures.append(name)
+    for name, row in payload["sweep"].items():
+        if not row["matches_serial"]:
+            failures.append(f"sweep:{name}")
+    if failures:
+        print(f"FAILED: {failures}", file=sys.stderr)
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import headline_metrics
-from repro.sim import preset, run_comparison
+from repro.api import FMoreEngine, Scenario
+from repro.sim import preset
 from repro.sim.cluster_experiment import ClusterConfig, run_cluster_comparison
 from repro.sim.reporting import paper_vs_measured
 
@@ -29,7 +30,8 @@ def _run():
     lstm_improvement = None
     for dataset, target in TARGETS.items():
         cfg = preset("bench", dataset)
-        results = run_comparison(cfg, ("FMore", "RandFL"), seed=SEED)
+        scenario = Scenario.from_config(cfg, schemes=("FMore", "RandFL"), seeds=(SEED,))
+        results = FMoreEngine().run(scenario).comparison()
         metrics = headline_metrics(results, target_accuracy=target)
         if metrics.round_reduction_pct is not None:
             reductions.append(metrics.round_reduction_pct)

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import build_solver, preset
+from repro.api import Scenario, build_solver
 
 
 @pytest.fixture(scope="session")
 def bench_solver():
     """The simulation-game solver at paper population size (N=100, K=20)."""
-    cfg = preset("bench", "mnist_o")
-    return build_solver(cfg, n_clients=100, k_winners=20)
+    scenario = Scenario.from_preset("bench", "mnist_o")
+    return build_solver(scenario, n_clients=100, k_winners=20)

@@ -10,8 +10,9 @@ histories for additional assertions.
 from __future__ import annotations
 
 from repro.analysis import headline_metrics
+from repro.api import FMoreEngine, Scenario
 from repro.fl.metrics import round_reduction
-from repro.sim import preset, run_comparison
+from repro.sim import preset
 from repro.sim.reporting import paper_vs_measured, series_table
 
 from .common import BENCH_SEEDS, emit, fmt_curve, mean_series
@@ -28,11 +29,8 @@ def run_accuracy_loss_figure(
 ):
     """Run one Fig 4-7 experiment and emit its report."""
     cfg = preset("bench", dataset)
-    per_scheme = {s: [] for s in SCHEMES}
-    for seed in BENCH_SEEDS:
-        results = run_comparison(cfg, SCHEMES, seed=seed)
-        for s in SCHEMES:
-            per_scheme[s].append(results[s])
+    scenario = Scenario.from_config(cfg, schemes=SCHEMES, seeds=tuple(BENCH_SEEDS))
+    per_scheme = FMoreEngine().run(scenario).histories
 
     rounds = list(range(1, cfg.n_rounds + 1))
     acc = {s: fmt_curve(mean_series(h, "accuracies")) for s, h in per_scheme.items()}

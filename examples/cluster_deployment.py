@@ -9,25 +9,25 @@ accuracy comparison of Fig. 13.
 Run:  python examples/cluster_deployment.py      (~60 s)
 """
 
+from repro.api import FMoreEngine, Scenario
 from repro.fl.metrics import speedup_percent, time_to_accuracy
-from repro.sim.cluster_experiment import ClusterConfig, run_cluster_comparison
 from repro.sim.reporting import ascii_table, series_table
 
-cfg = ClusterConfig(
-    n_nodes=31,
-    k_winners=8,
+scenario = Scenario.from_preset(
+    "cluster_cifar10",
+    seeds=(3,),
     n_rounds=10,
     size_range=(150, 900),
     test_per_class=25,
     model_width=0.18,
 )
 print(
-    f"simulated cluster: {cfg.n_nodes} nodes, K={cfg.k_winners}, "
-    f"dataset={cfg.dataset}, scoring weights={cfg.score_weights}"
+    f"simulated cluster: {scenario.n_clients} nodes, K={scenario.k_winners}, "
+    f"dataset={scenario.dataset}, scoring weights={scenario.scoring['weights']}"
 )
-results = run_cluster_comparison(cfg, ("FMore", "RandFL"), seed=3)
+results = FMoreEngine().run(scenario).comparison()
 
-rounds = list(range(1, cfg.n_rounds + 1))
+rounds = list(range(1, scenario.n_rounds + 1))
 print()
 print(
     series_table(

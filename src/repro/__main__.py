@@ -11,13 +11,19 @@ Usage::
     python -m repro sweep-k              # Fig 10b payment/score vs K
     python -m repro run --scenario exp.json          # declarative run
     python -m repro run --preset smoke --set seeds=0,1,2 --set n_rounds=5
+    python -m repro run --preset bench --set seeds=0,1,2 --parallel 4
+    python -m repro run --preset cluster_cifar10     # Fig 12-13 via the engine
     python -m repro scenario --preset bench > exp.json   # emit a spec
 
 The ``run`` command consumes :class:`repro.api.Scenario` JSON files (see
 ``scenario`` to generate one) and drives the :class:`repro.api.FMoreEngine`
-façade; ``--set key=value`` overrides any scenario field.  The pytest
-benches in ``benchmarks/`` remain the canonical reproduction (they record
-paper-vs-measured blocks); this CLI is the quick interactive path.
+façade; ``--set key=value`` overrides any scenario field.  Multi-seed
+sweeps fan their ``(scheme, seed)`` cells out through the scenario's
+``execution`` spec: ``--parallel N`` runs them on an N-worker process pool
+and ``--executor serial|thread|process`` picks the pool type (results are
+bitwise-identical either way).  The pytest benches in ``benchmarks/``
+remain the canonical reproduction (they record paper-vs-measured blocks);
+this CLI is the quick interactive path.
 """
 
 from __future__ import annotations
@@ -34,14 +40,14 @@ DEFAULT_SCHEMES = ("FMore", "RandFL", "FixFL")
 
 
 def _parse_schemes(raw: str | None, default: tuple[str, ...] = DEFAULT_SCHEMES):
-    from .sim import SCHEMES
+    from .api import SCHEME_NAMES
 
     if raw is None:
         return default
     schemes = tuple(s.strip() for s in raw.split(",") if s.strip())
     for s in schemes:
-        if s not in SCHEMES:
-            raise SystemExit(f"unknown scheme {s!r}; choose from {SCHEMES}")
+        if s not in SCHEME_NAMES:
+            raise SystemExit(f"unknown scheme {s!r}; choose from {SCHEME_NAMES}")
     if not schemes:
         raise SystemExit("--schemes must name at least one scheme")
     return schemes
@@ -63,14 +69,16 @@ def _cmd_theory() -> int:
 
 def _cmd_compare(dataset: str, seed: int, rounds: int | None, schemes_raw: str | None) -> int:
     from .analysis import summarize_schemes
-    from .sim import preset, run_comparison
+    from .api import FMoreEngine, Scenario
+    from .sim import preset
     from .sim.reporting import ascii_table, series_table
 
     schemes = _parse_schemes(schemes_raw)
     cfg = preset("bench", dataset)
     if rounds is not None:
         cfg = cfg.with_(n_rounds=rounds)
-    results = run_comparison(cfg, schemes, seed=seed)
+    scenario = Scenario.from_config(cfg, schemes=schemes, seeds=(seed,))
+    results = FMoreEngine().run(scenario).comparison()
     print(
         series_table(
             f"accuracy per round ({dataset})",
@@ -104,6 +112,15 @@ def _load_scenario(args) -> "object":
             scenario = scenario.with_(n_rounds=args.rounds)
         if args.overrides:
             scenario = scenario.with_overrides(args.overrides)
+        if args.executor is not None or args.parallel is not None:
+            execution = dict(scenario.execution)
+            if args.executor is not None:
+                execution["executor"] = args.executor
+            if args.parallel is not None:
+                execution["max_workers"] = args.parallel
+                if args.executor is None:
+                    execution["executor"] = "process"
+            scenario = scenario.with_(execution=execution)
     except (ValueError, TypeError, json.JSONDecodeError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
     return scenario
@@ -144,23 +161,36 @@ def _cmd_run(args) -> int:
         )
     print()
     print(ascii_table(["scheme", "final acc", "payment"], rows))
-    print(
-        f"\nsolver cache: {engine.cache_misses} build(s), "
-        f"{engine.cache_hits} reuse(s) across {len(scenario.seeds)} seed(s)"
-    )
+    executor = scenario.execution["executor"]
+    workers = scenario.execution["max_workers"]
+    if executor == "process":
+        # Solver builds happen inside the worker processes (one cache
+        # each); the parent engine's counters would misleadingly read 0.
+        print(
+            f"\nsolver cache: per-worker [process executor"
+            + (f", {workers} workers]" if workers else "]")
+        )
+    else:
+        note = "" if executor == "serial" else f" [{executor} executor]"
+        print(
+            f"\nsolver cache: {engine.cache_misses} build(s), "
+            f"{engine.cache_hits} reuse(s) across {len(scenario.seeds)} seed(s)"
+            + note
+        )
     return 0
 
 
 def _cmd_cluster(seed: int) -> int:
-    from .sim.cluster_experiment import ClusterConfig, run_cluster_comparison
+    from .api import FMoreEngine, Scenario
     from .sim.reporting import series_table
 
-    cfg = ClusterConfig(
-        n_nodes=31, k_winners=8, n_rounds=10, size_range=(150, 900),
-        test_per_class=25, model_width=0.18,
+    scenario = Scenario.from_preset(
+        "cluster_cifar10",
+        seeds=(seed,),
+        n_rounds=10, size_range=(150, 900), test_per_class=25, model_width=0.18,
     )
-    results = run_cluster_comparison(cfg, ("FMore", "RandFL"), seed=seed)
-    rounds = list(range(1, cfg.n_rounds + 1))
+    results = FMoreEngine().run(scenario).comparison()
+    rounds = list(range(1, scenario.n_rounds + 1))
     print(
         series_table(
             "cluster accuracy per round", "round", rounds,
@@ -179,11 +209,13 @@ def _cmd_cluster(seed: int) -> int:
 
 def _cmd_sweep(axis: str, seed: int) -> int:
     from .analysis import payment_score_sweep_k, payment_score_sweep_n
-    from .sim import build_solver, preset
+    from .api import Scenario, build_solver
     from .sim.reporting import series_table
     from .sim.rng import rng_from
 
-    solver = build_solver(preset("bench", "mnist_o"), n_clients=100, k_winners=20)
+    solver = build_solver(
+        Scenario.from_preset("bench", "mnist_o"), n_clients=100, k_winners=20
+    )
     rng = rng_from(seed, f"cli-{axis}")
     if axis == "n":
         rows = payment_score_sweep_n(solver, (50, 80, 110, 140, 170, 200), rng, 120)
@@ -208,7 +240,9 @@ def _cmd_sweep(axis: str, seed: int) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument("command", choices=COMMANDS)
-    parser.add_argument("dataset", nargs="?", default="mnist_o")
+    # None = "not given": presets that imply a dataset (cluster_cifar10)
+    # reject an explicit conflicting one instead of silently ignoring it.
+    parser.add_argument("dataset", nargs="?", default=None)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument(
@@ -235,6 +269,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="KEY=VALUE",
         help="override a scenario field (repeatable), e.g. --set seeds=0,1,2",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the (scheme, seed) cells on an N-worker process pool "
+        "(shorthand for an execution spec; results match serial bitwise)",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "thread", "process"),
+        help="executor family for `run` (default: the scenario's execution spec)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -242,7 +290,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "theory":
         return _cmd_theory()
     if args.command == "compare":
-        return _cmd_compare(args.dataset, args.seed, args.rounds, args.schemes)
+        return _cmd_compare(
+            args.dataset or "mnist_o", args.seed, args.rounds, args.schemes
+        )
     if args.command == "cluster":
         return _cmd_cluster(args.seed)
     if args.command == "sweep-n":

@@ -27,11 +27,19 @@ from .engine import (
     build_solver,
     run_scheme,
 )
-from .scenario import SCHEME_NAMES, Scenario
+from .executor import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from .scenario import SCHEME_NAMES, VARIANT_NAMES, Scenario
 
 __all__ = [
     "Scenario",
     "SCHEME_NAMES",
+    "VARIANT_NAMES",
     "FMoreEngine",
     "RunResult",
     "Federation",
@@ -40,4 +48,9 @@ __all__ = [
     "build_agents",
     "build_selection",
     "run_scheme",
+    "EXECUTORS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
 ]

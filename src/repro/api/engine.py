@@ -21,8 +21,10 @@ a :class:`RunResult`.
 
 from __future__ import annotations
 
+import functools
+import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -31,6 +33,7 @@ from ..core.equilibrium import EquilibriumSolver
 from ..core.mechanism import FMoreMechanism
 from ..core.registry import (
     COST_MODELS,
+    EXECUTORS,
     SCORING_RULES,
     THETA_DISTRIBUTIONS,
     WINNER_SELECTIONS,
@@ -48,9 +51,16 @@ from ..fl.selection import (
 )
 from ..fl.server import FedAvgServer
 from ..fl.trainer import FederatedTrainer, RoundTimer, TrainingHistory
+from ..mec.cluster import (
+    ClusterNodeSpec,
+    SimulatedCluster,
+    build_cluster_specs,
+    cluster_quality_extractor,
+)
 from ..mec.node import EdgeNode
 from ..mec.resources import ResourceProfile, UniformAvailabilityDynamics
 from ..sim.rng import rng_from
+from .executor import Executor, SerialExecutor
 from .scenario import SCHEME_NAMES, Scenario
 
 __all__ = [
@@ -72,7 +82,14 @@ _AUCTION_SCHEMES = ("FMore", "PsiFMore")
 
 @dataclass
 class Federation:
-    """Everything schemes must share for a fair comparison."""
+    """Everything schemes must share for a fair comparison.
+
+    For ``variant="cluster"`` scenarios the federation additionally owns
+    the simulated testbed hardware: per-node machine specs and the
+    :class:`~repro.mec.cluster.SimulatedCluster` wall-clock model (used as
+    the run's :class:`~repro.fl.trainer.RoundTimer` unless a caller
+    supplies one).
+    """
 
     generator: DataGenerator
     clients_data: list[ClientData]
@@ -80,10 +97,37 @@ class Federation:
     test_y: np.ndarray
     thetas: np.ndarray
     initial_weights: list[np.ndarray] = field(default_factory=list)
+    cluster_specs: list[ClusterNodeSpec] | None = None
+    cluster: SimulatedCluster | None = None
 
     @property
     def n_clients(self) -> int:
         return len(self.clients_data)
+
+
+def _stream_names(scenario: Scenario) -> dict[str, str]:
+    """Named seed streams per variant.
+
+    The cluster labels reproduce the ones the legacy
+    ``sim.cluster_experiment`` assembly used, so engine-driven testbed
+    runs are bitwise-identical to historical results.
+    """
+    if scenario.variant == "cluster":
+        return {
+            "data": f"cluster-data-{scenario.name}",
+            "theta": f"cluster-theta-{scenario.name}",
+            "hw": f"cluster-hw-{scenario.name}",
+            "model": "cluster-model",
+            "fixfl": "cluster-fixfl",
+            "train": "cluster-train-{scheme}",
+        }
+    return {
+        "data": f"data-{scenario.name}",
+        "theta": f"theta-{scenario.name}",
+        "model": "model-init",
+        "fixfl": "fixfl",
+        "train": "train-{scheme}",
+    }
 
 
 # ----------------------------------------------------------------------
@@ -96,8 +140,9 @@ def build_federation(scenario: Scenario, seed: int) -> Federation:
     identical data and identical theta draws, as the paper's comparisons
     require.
     """
-    data_rng = rng_from(seed, f"data-{scenario.name}")
-    theta_rng = rng_from(seed, f"theta-{scenario.name}")
+    names = _stream_names(scenario)
+    data_rng = rng_from(seed, names["data"])
+    theta_rng = rng_from(seed, names["theta"])
     generator = make_generator(
         scenario.dataset, seed=scenario.data_seed, image_size=scenario.image_size
     )
@@ -113,11 +158,32 @@ def build_federation(scenario: Scenario, seed: int) -> Federation:
     test_x, test_y = generator.test_set(scenario.test_per_class, data_rng)
     distribution = THETA_DISTRIBUTIONS.create(scenario.theta)
     thetas = distribution.sample(theta_rng, scenario.n_clients)
-    return Federation(generator, clients_data, test_x, test_y, np.asarray(thetas))
+    federation = Federation(
+        generator, clients_data, test_x, test_y, np.asarray(thetas)
+    )
+    if scenario.variant == "cluster":
+        hw_rng = rng_from(seed, names["hw"])
+        federation.cluster_specs = build_cluster_specs(
+            [c.size for c in clients_data],
+            hw_rng,
+            category_proportions=[c.category_proportion for c in clients_data],
+            core_choices=scenario.core_choices,
+            bandwidth_range_mbps=scenario.bandwidth_range_mbps,
+        )
+        federation.cluster = SimulatedCluster(federation.cluster_specs)
+    return federation
 
 
 def solver_bounds(scenario: Scenario) -> list[list[float]]:
-    """Per-dimension quality bounds of the simulation game (Section V-A)."""
+    """Per-dimension quality bounds of the scenario's game.
+
+    Simulation (Section V-A): data size in kilosamples and category
+    proportion.  Cluster (Section V-C): every dimension of the normalised
+    (compute, bandwidth, data) triple lives in the unit interval.
+    """
+    if scenario.variant == "cluster":
+        rule = SCORING_RULES.create(scenario.scoring)
+        return [[0.0, 1.0]] * rule.n_dimensions
     hi_q1 = scenario.size_range[1] / SAMPLES_PER_QUALITY_UNIT
     return [[0.01, hi_q1], [0.05, 1.0]]
 
@@ -156,7 +222,43 @@ def build_agents(
     federation: Federation,
     solver: EquilibriumSolver,
 ) -> list[EdgeNode]:
-    """One bidding agent per client, capacity = its actual local data."""
+    """One bidding agent per client, capacity = its actual resources.
+
+    Simulation agents are capped by their local data; cluster agents by
+    their machine's (cores, bandwidth, data) triple, normalised by the
+    scenario's hardware maxima.
+    """
+    if scenario.variant == "cluster":
+        if federation.cluster_specs is None:
+            raise ValueError(
+                "cluster scenario needs a cluster federation; build it with "
+                "build_federation(scenario, seed)"
+            )
+        if solver.quality_rule.n_dimensions != 3:
+            raise ValueError(
+                "cluster scenarios score the 3-D (compute, bandwidth, data) "
+                f"triple; scoring spec has {solver.quality_rule.n_dimensions} "
+                "dimensions"
+            )
+        extractor = cluster_quality_extractor(
+            max_cores=max(scenario.core_choices),
+            max_bandwidth_mbps=scenario.bandwidth_range_mbps[1],
+            max_data_size=scenario.size_range[1],
+        )
+        return [
+            EdgeNode(
+                node_id=spec.node_id,
+                theta=float(theta),
+                solver=solver,
+                profile=spec.profile,
+                dynamics=UniformAvailabilityDynamics(
+                    scenario.availability_min_fraction
+                ),
+                quality_extractor=extractor,
+                theta_jitter=scenario.theta_jitter,
+            )
+            for spec, theta in zip(federation.cluster_specs, federation.thetas)
+        ]
     agents: list[EdgeNode] = []
     for data, theta in zip(federation.clients_data, federation.thetas):
         profile = ResourceProfile(
@@ -180,6 +282,16 @@ def _quality_to_samples(quality: np.ndarray) -> int:
     return int(round(quality[0] * SAMPLES_PER_QUALITY_UNIT))
 
 
+@dataclass(frozen=True)
+class _ClusterQualityToSamples:
+    """Declared data dimension (index 2) scaled back to raw sample counts."""
+
+    max_data_size: int
+
+    def __call__(self, quality: np.ndarray) -> int:
+        return int(round(quality[2] * self.max_data_size))
+
+
 def build_selection(
     scenario: Scenario,
     scheme: str,
@@ -189,10 +301,13 @@ def build_selection(
 ) -> SelectionStrategy:
     """Construct the selection strategy for a scheme name."""
     client_ids = [c.client_id for c in federation.clients_data]
+    names = _stream_names(scenario)
     if scheme == "RandFL":
         return RandomSelection(client_ids, scenario.k_winners)
     if scheme == "FixFL":
-        return FixedSelection(client_ids, scenario.k_winners, rng_from(seed, "fixfl"))
+        return FixedSelection(
+            client_ids, scenario.k_winners, rng_from(seed, names["fixfl"])
+        )
     if scheme in _AUCTION_SCHEMES:
         if solver is None:
             solver = build_solver(scenario)
@@ -209,7 +324,11 @@ def build_selection(
             selection=policy,
         )
         mechanism = FMoreMechanism(auction)
-        strategy = AuctionSelection(mechanism, agents, _quality_to_samples)
+        if scenario.variant == "cluster":
+            quality_to_samples = _ClusterQualityToSamples(scenario.size_range[1])
+        else:
+            quality_to_samples = _quality_to_samples
+        strategy = AuctionSelection(mechanism, agents, quality_to_samples)
         strategy.name = scheme
         return strategy
     raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEME_NAMES}")
@@ -223,7 +342,7 @@ def _build_global_model(scenario: Scenario, federation: Federation, seed: int):
         scenario.dataset,
         federation.generator.input_shape,
         federation.generator.n_classes,
-        rng_from(seed, "model-init"),
+        rng_from(seed, _stream_names(scenario)["model"]),
         width=scenario.model_width,
         lr=scenario.lr,
         vocab_size=vocab,
@@ -242,10 +361,14 @@ def run_scheme(
 
     All schemes for a given ``(scenario, seed)`` share the federation and
     the initial global weights; only training randomness differs per
-    scheme.
+    scheme.  Cluster federations bring their own wall-clock model: when no
+    ``timer`` is supplied, the federation's
+    :class:`~repro.mec.cluster.SimulatedCluster` times the rounds.
     """
     if federation is None:
         federation = build_federation(scenario, seed)
+    if timer is None and federation.cluster is not None:
+        timer = federation.cluster
     global_model = _build_global_model(scenario, federation, seed)
     if federation.initial_weights:
         global_model.set_weights(federation.initial_weights)
@@ -268,7 +391,7 @@ def run_scheme(
         selection,
         federation.test_x,
         federation.test_y,
-        rng_from(seed, f"train-{scheme}"),
+        rng_from(seed, _stream_names(scenario)["train"].format(scheme=scheme)),
         timer=timer,
     )
     return trainer.run(scenario.n_rounds)
@@ -390,26 +513,95 @@ class FMoreEngine:
         )
 
     def run(self, scenario: Scenario) -> RunResult:
-        """Run every scheme over every seed of the scenario's plan."""
+        """Run every ``(scheme, seed)`` cell of the scenario's plan.
+
+        The cells fan out through the executor named by the scenario's
+        ``execution`` spec (``serial`` by default).  Every cell derives
+        its randomness from named per-cell seed streams, so all executors
+        return bitwise-identical histories:
+
+        * in-process executors (``serial``, ``thread``) share this
+          engine's solver cache and one federation per seed (dropped as
+          soon as its last scheme finishes, to keep the serial memory
+          profile);
+        * the ``process`` executor ships ``(scenario, scheme, seed)`` to
+          worker processes, each of which rebuilds federations from the
+          same streams and keeps a per-process solver cache (the engine's
+          ``timer``, if any, must then be picklable).
+        """
+        executor: Executor = EXECUTORS.create(
+            scenario.execution["executor"],
+            max_workers=scenario.execution["max_workers"],
+        )
+        cells = [
+            (scheme, seed) for seed in scenario.seeds for scheme in scenario.schemes
+        ]
+        if executor.in_process:
+            # Under a concurrent in-process executor the scheme-independent
+            # initial weights must be settled before cells race for them;
+            # the serial loop keeps the legacy lazy fill (first cell pays).
+            eager_weights = not isinstance(executor, SerialExecutor)
+            results = executor.map(
+                self._cell_runner(scenario, eager_weights=eager_weights), cells
+            )
+        else:
+            results = executor.map(
+                functools.partial(_run_cell, scenario, self.timer), cells
+            )
         histories: dict[str, list[TrainingHistory]] = {
             scheme: [] for scheme in scenario.schemes
         }
-        needs_solver = any(s in _AUCTION_SCHEMES for s in scenario.schemes)
-        for seed in scenario.seeds:
-            federation = build_federation(scenario, seed)
-            solver = self.solver_for(scenario) if needs_solver else None
-            for scheme in scenario.schemes:
-                histories[scheme].append(
-                    run_scheme(
-                        scenario,
-                        scheme,
-                        seed,
-                        federation=federation,
-                        timer=self.timer,
-                        solver=solver,
-                    )
-                )
+        for (scheme, _), history in zip(cells, results):
+            histories[scheme].append(history)
         return RunResult(scenario, histories)
+
+    def _cell_runner(
+        self, scenario: Scenario, eager_weights: bool = False
+    ) -> Callable[[tuple[str, int]], TrainingHistory]:
+        """The in-process cell function: shared solvers, pooled federations.
+
+        Federations are built lazily under a lock — once per seed however
+        many threads run its cells — and evicted when the seed's last
+        scheme completes.  With ``eager_weights`` the scheme-independent
+        initial weights are settled at federation build time (so
+        concurrent cells never race to fill them); without it, the first
+        cell populates them as the legacy serial loop did.
+        """
+        needs_solver = any(s in _AUCTION_SCHEMES for s in scenario.schemes)
+        lock = threading.Lock()
+        # seed -> (federation, solver); one solver_for call per seed, like
+        # the serial loop always made (the engine cache dedupes the build).
+        pooled: dict[int, tuple[Federation, EquilibriumSolver | None]] = {}
+        remaining = {seed: len(scenario.schemes) for seed in scenario.seeds}
+
+        def run_cell(cell: tuple[str, int]) -> TrainingHistory:
+            scheme, seed = cell
+            with lock:
+                entry = pooled.get(seed)
+                if entry is None:
+                    federation = build_federation(scenario, seed)
+                    if eager_weights:
+                        model = _build_global_model(scenario, federation, seed)
+                        federation.initial_weights = model.get_weights()
+                    solver = self.solver_for(scenario) if needs_solver else None
+                    entry = pooled[seed] = (federation, solver)
+                federation, solver = entry
+            try:
+                return run_scheme(
+                    scenario,
+                    scheme,
+                    seed,
+                    federation=federation,
+                    timer=self.timer,
+                    solver=solver,
+                )
+            finally:
+                with lock:
+                    remaining[seed] -= 1
+                    if remaining[seed] == 0:
+                        pooled.pop(seed, None)
+
+        return run_cell
 
 
 def _freeze(value: Any) -> Any:
@@ -419,3 +611,37 @@ def _freeze(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v) for v in value)
     return value
+
+
+# ----------------------------------------------------------------------
+# Process-pool entry point
+# ----------------------------------------------------------------------
+# One engine per worker process: cells a worker handles share its solver
+# cache (the game key is value-based, so re-pickled scenarios still hit).
+_WORKER_ENGINE: FMoreEngine | None = None
+
+
+def _run_cell(
+    scenario: Scenario, timer: RoundTimer | None, cell: tuple[str, int]
+) -> TrainingHistory:
+    """Run one ``(scheme, seed)`` cell in the current (worker) process.
+
+    Rebuilds the cell's federation from its named seed streams, so the
+    returned history is bitwise-identical to the serial path no matter
+    which worker runs it.
+    """
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = FMoreEngine()
+    scheme, seed = cell
+    solver = (
+        _WORKER_ENGINE.solver_for(scenario) if scheme in _AUCTION_SCHEMES else None
+    )
+    return run_scheme(
+        scenario,
+        scheme,
+        seed,
+        federation=build_federation(scenario, seed),
+        timer=timer,
+        solver=solver,
+    )

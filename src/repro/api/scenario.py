@@ -31,15 +31,22 @@ from ..core.registry import (
     SCORING_RULES,
     THETA_DISTRIBUTIONS,
 )
+from .executor import EXECUTORS  # noqa: F401 - import registers the executors
 
-__all__ = ["Scenario", "SCHEME_NAMES"]
+__all__ = ["Scenario", "SCHEME_NAMES", "VARIANT_NAMES"]
 
 SCHEME_NAMES = ("FMore", "RandFL", "FixFL", "PsiFMore")
 
+#: Environment families the engine can assemble: the paper's Section V-A/B
+#: simulation game, and the Section V-C simulated-cluster testbed.
+VARIANT_NAMES = ("simulation", "cluster")
+
 _WIN_MODELS = ("paper", "exact")
 
+_EXECUTION_KEYS = ("executor", "max_workers")
+
 # Fields deserialised back into tuples (JSON only has lists).
-_TUPLE_FIELDS = ("size_range", "schemes", "seeds")
+_TUPLE_FIELDS = ("size_range", "schemes", "seeds", "core_choices", "bandwidth_range_mbps")
 _SPEC_FIELDS = {
     "scoring": SCORING_RULES,
     "cost": COST_MODELS,
@@ -59,6 +66,10 @@ def _default_theta() -> dict:
     return {"name": "uniform", "lo": 0.1, "hi": 1.0}
 
 
+def _default_execution() -> dict:
+    return {"executor": "serial", "max_workers": None}
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully-specified experiment (dataset + federation + auction + plan).
@@ -70,6 +81,12 @@ class Scenario:
 
     name: str = "default"
     dataset: str = "mnist_o"
+    # -- environment family ----------------------------------------------
+    # "simulation" scores (data size, category diversity) as in Section
+    # V-A/B; "cluster" recreates the Section V-C testbed: heterogeneous
+    # machines (cores, bandwidth) on a SimulatedCluster wall-clock model,
+    # scored on the 3-D (compute, bandwidth, data) triple.
+    variant: str = "simulation"
     # -- federation shape ------------------------------------------------
     n_clients: int = 100
     k_winners: int = 20
@@ -97,9 +114,15 @@ class Scenario:
     payment_method: str = "euler"
     psi: float | None = None
     grid_size: int = 257
+    # -- cluster hardware (variant="cluster" only) ------------------------
+    core_choices: tuple[int, ...] = (1, 2, 4, 8)
+    bandwidth_range_mbps: tuple[float, float] = (50.0, 1000.0)
     # -- run plan ---------------------------------------------------------
     schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL")
     seeds: tuple[int, ...] = (0,)
+    # How the (scheme, seed) cells execute: a registry spec naming an
+    # executor from repro.api.executor plus its worker bound.
+    execution: dict = field(default_factory=_default_execution)
 
     # ------------------------------------------------------------------
     # Validation
@@ -112,6 +135,46 @@ class Scenario:
         object.__setattr__(self, "size_range", tuple(int(v) for v in self.size_range))
         object.__setattr__(self, "schemes", tuple(str(s) for s in schemes))
         object.__setattr__(self, "seeds", tuple(int(s) for s in seeds))
+        object.__setattr__(
+            self, "core_choices", tuple(int(c) for c in self.core_choices)
+        )
+        object.__setattr__(
+            self,
+            "bandwidth_range_mbps",
+            tuple(float(v) for v in self.bandwidth_range_mbps),
+        )
+        if self.variant not in VARIANT_NAMES:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; choose from {VARIANT_NAMES}"
+            )
+        if not self.core_choices or any(c < 1 for c in self.core_choices):
+            raise ValueError("core_choices must be a non-empty tuple of cores >= 1")
+        if len(self.bandwidth_range_mbps) != 2 or not (
+            0.0 < self.bandwidth_range_mbps[0] <= self.bandwidth_range_mbps[1]
+        ):
+            raise ValueError("bandwidth_range_mbps must satisfy 0 < lo <= hi")
+        if not isinstance(self.execution, Mapping):
+            raise TypeError("execution must be a spec mapping")
+        execution = {str(k): v for k, v in self.execution.items()}
+        unknown_exec = sorted(set(execution) - set(_EXECUTION_KEYS))
+        if unknown_exec:
+            raise ValueError(
+                f"unknown execution keys {unknown_exec}; allowed: {_EXECUTION_KEYS}"
+            )
+        executor = execution.get("executor", "serial")
+        if not isinstance(executor, str) or executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; "
+                f"choose from {list(EXECUTORS.names())}"
+            )
+        max_workers = execution.get("max_workers")
+        if max_workers is not None:
+            max_workers = int(max_workers)
+            if max_workers < 1:
+                raise ValueError("execution max_workers must be >= 1")
+        object.__setattr__(
+            self, "execution", {"executor": executor, "max_workers": max_workers}
+        )
         if self.n_clients < 2:
             raise ValueError("n_clients must be >= 2")
         if not (1 <= self.k_winners <= self.n_clients):
@@ -236,16 +299,90 @@ class Scenario:
     def from_preset(
         cls,
         scale: str,
-        dataset: str = "mnist_o",
-        schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL"),
+        dataset: str | None = None,
+        schemes: tuple[str, ...] | None = None,
         seeds: tuple[int, ...] = (0,),
         **overrides: Any,
     ) -> "Scenario":
-        """Bridge the existing ``smoke``/``bench``/``paper`` presets."""
-        from ..sim.config import preset
+        """A named preset scenario.
 
-        scenario = cls.from_config(preset(scale, dataset), schemes=schemes, seeds=seeds)
+        ``smoke``/``bench``/``paper`` bridge the legacy scale presets over
+        ``dataset`` (default ``mnist_o``); ``cluster_cifar10`` is the
+        Section V-C testbed — it trains CIFAR-10 and its default plan
+        compares FMore vs RandFL as Figs 12-13 do, so asking it for a
+        different dataset raises rather than being silently ignored.
+        Unknown preset names raise with the full preset list.
+        """
+        from ..sim.config import PRESET_NAMES, preset
+
+        if scale == "cluster_cifar10":
+            from ..sim.cluster_experiment import ClusterConfig
+
+            if dataset not in (None, "cifar10"):
+                raise ValueError(
+                    f"preset 'cluster_cifar10' trains cifar10, not {dataset!r}"
+                )
+            scenario = cls.from_cluster_config(
+                ClusterConfig(),
+                schemes=("FMore", "RandFL") if schemes is None else schemes,
+                seeds=seeds,
+            )
+        elif scale in PRESET_NAMES:
+            scenario = cls.from_config(
+                preset(scale, dataset if dataset is not None else "mnist_o"),
+                schemes=("FMore", "RandFL", "FixFL") if schemes is None else schemes,
+                seeds=seeds,
+            )
+        else:
+            raise ValueError(
+                f"unknown preset {scale!r}; "
+                f"choose from {[*PRESET_NAMES, 'cluster_cifar10']}"
+            )
         return scenario.with_(**overrides) if overrides else scenario
+
+    @classmethod
+    def from_cluster_config(
+        cls,
+        cfg,
+        schemes: tuple[str, ...] = ("FMore", "RandFL"),
+        seeds: tuple[int, ...] = (0,),
+    ) -> "Scenario":
+        """Lift a :class:`~repro.sim.cluster_experiment.ClusterConfig`.
+
+        The resulting ``variant="cluster"`` scenario reproduces the legacy
+        ``run_cluster_comparison`` assembly exactly (same named seed
+        streams, same additive 3-D game, same ``quadrature`` payment
+        backend the hand-built solver defaulted to), so the engine path is
+        bitwise-compatible with the historical testbed runs.
+        """
+        return cls(
+            name=cfg.name,
+            dataset=cfg.dataset,
+            variant="cluster",
+            n_clients=cfg.n_nodes,
+            k_winners=cfg.k_winners,
+            test_per_class=cfg.test_per_class,
+            size_range=cfg.size_range,
+            min_classes=cfg.min_classes,
+            max_classes=cfg.max_classes,
+            availability_min_fraction=cfg.availability_min_fraction,
+            theta_jitter=0.0,
+            data_seed=cfg.data_seed,
+            n_rounds=cfg.n_rounds,
+            local_epochs=cfg.local_epochs,
+            batch_size=cfg.batch_size,
+            lr=cfg.lr,
+            model_width=cfg.model_width,
+            scoring={"name": "additive", "weights": list(cfg.score_weights)},
+            cost={"name": "linear", "betas": list(cfg.cost_betas)},
+            theta={"name": "uniform", "lo": cfg.theta_lo, "hi": cfg.theta_hi},
+            payment_method="quadrature",
+            grid_size=cfg.grid_size,
+            core_choices=cfg.core_choices,
+            bandwidth_range_mbps=cfg.bandwidth_range_mbps,
+            schemes=tuple(schemes),
+            seeds=tuple(seeds),
+        )
 
     @classmethod
     def from_config(
@@ -296,6 +433,11 @@ class Scenario:
         """
         from ..sim.config import AuctionConfig, ExperimentConfig
 
+        if self.variant != "simulation":
+            raise ValueError(
+                f"cannot express variant {self.variant!r} as an "
+                "ExperimentConfig; use FMoreEngine"
+            )
         for spec_name, expected in (("scoring", "multiplicative"), ("cost", "linear"), ("theta", "uniform")):
             spec = getattr(self, spec_name)
             if spec.get("name") != expected:

@@ -26,7 +26,12 @@ from .costs import (
     SingleCrossingReport,
     check_single_crossing,
 )
-from .equilibrium import EquilibriumSolver, optimize_quality, win_kernel
+from .equilibrium import (
+    EquilibriumSolver,
+    optimize_quality,
+    optimize_quality_batch,
+    win_kernel,
+)
 from .guidance import (
     GuidanceResult,
     alphas_for_target_mix,
@@ -111,6 +116,7 @@ __all__ = [
     # equilibrium
     "EquilibriumSolver",
     "optimize_quality",
+    "optimize_quality_batch",
     "win_kernel",
     "MARGIN_BACKENDS",
     "euler_margin",

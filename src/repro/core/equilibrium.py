@@ -46,6 +46,7 @@ from .valuation import PrivateValueModel
 
 __all__ = [
     "optimize_quality",
+    "optimize_quality_batch",
     "win_kernel",
     "EquilibriumSolver",
 ]
@@ -111,28 +112,11 @@ def optimize_quality(
         raise ValueError("each bound row must satisfy lo <= hi")
     lo, hi = b[:, 0], b[:, 1]
 
-    if isinstance(rule, AdditiveScore):
-        alpha = rule.weights
-        if isinstance(cost, QuadraticCost):
-            interior = alpha / (2.0 * theta * np.maximum(cost.betas, 1e-300))
-            return np.clip(interior, lo, hi)
-        if isinstance(cost, LinearCost):
-            marginal_gain = alpha - theta * cost.betas
-            return np.where(marginal_gain > 0.0, hi, lo)
-        if isinstance(cost, PowerCost):
-            q = np.empty_like(lo)
-            for j in range(rule.n_dimensions):
-                gam = cost.gammas[j]
-                if gam == 1.0:
-                    q[j] = hi[j] if alpha[j] > theta * cost.betas[j] else lo[j]
-                else:
-                    denom = theta * cost.betas[j] * gam
-                    if denom <= 0.0:
-                        q[j] = hi[j] if alpha[j] > 0 else lo[j]
-                    else:
-                        q[j] = (alpha[j] / denom) ** (1.0 / (gam - 1.0))
-                q[j] = min(max(q[j], lo[j]), hi[j])
-            return q
+    if _has_closed_form(rule, cost):
+        # One-row batch: the closed forms live in optimize_quality_batch so
+        # grid builds and single queries share one (bitwise-identical)
+        # NumPy code path.
+        return optimize_quality_batch(rule, cost, np.asarray([float(theta)]), b)[0]
 
     def objective(q: np.ndarray) -> float:
         return -(rule.value(q) - cost.cost(q, theta))
@@ -151,6 +135,70 @@ def optimize_quality(
             candidates.append(np.clip(res.x, lo, hi))
     best = max(candidates, key=lambda q: rule.value(q) - cost.cost(q, theta))
     return np.asarray(best, dtype=float)
+
+
+def _has_closed_form(rule: ScoringRule, cost: CostModel) -> bool:
+    """True when ``argmax_q s(q) - c(q, theta)`` separates per dimension."""
+    return isinstance(rule, AdditiveScore) and isinstance(
+        cost, (QuadraticCost, LinearCost, PowerCost)
+    )
+
+
+def optimize_quality_batch(
+    rule: ScoringRule,
+    cost: CostModel,
+    thetas: Sequence[float] | np.ndarray,
+    bounds: np.ndarray,
+) -> np.ndarray:
+    """``qs(theta)`` for a whole type vector in one NumPy pass.
+
+    Row ``i`` is bitwise-identical to ``optimize_quality(rule, cost,
+    thetas[i], bounds)``: the closed-form families (additive scoring with
+    quadratic/linear/power costs) evaluate the same elementwise expressions
+    over the full ``(n, m)`` grid at once, which removes the last Python
+    hot loop from :meth:`EquilibriumSolver._build_tables`; every other
+    combination falls back to the per-point numerical optimiser.
+    """
+    b = np.asarray(bounds, dtype=float)
+    if b.shape != (rule.n_dimensions, 2):
+        raise ValueError("bounds must be an (m, 2) array of [lo, hi] rows")
+    if np.any(b[:, 1] < b[:, 0]):
+        raise ValueError("each bound row must satisfy lo <= hi")
+    t = np.asarray(thetas, dtype=float)
+    if t.ndim != 1:
+        raise ValueError("thetas must be a 1-D vector")
+    lo, hi = b[:, 0], b[:, 1]
+    if t.size == 0:
+        return np.empty((0, rule.n_dimensions))
+
+    if _has_closed_form(rule, cost):
+        alpha = rule.weights
+        if isinstance(cost, QuadraticCost):
+            interior = alpha / (2.0 * t[:, None] * np.maximum(cost.betas, 1e-300))
+            return np.clip(interior, lo, hi)
+        if isinstance(cost, LinearCost):
+            marginal_gain = alpha - t[:, None] * cost.betas
+            return np.where(marginal_gain > 0.0, hi, lo)
+        if isinstance(cost, PowerCost):
+            gam = cost.gammas
+            theta_beta = t[:, None] * cost.betas
+            denom = theta_beta * gam
+            # Masked lanes (gamma == 1, denominator <= 0) are overwritten
+            # below; the substitutes only keep the exponent/division finite.
+            safe_exp = 1.0 / (np.where(gam == 1.0, 2.0, gam) - 1.0)
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                interior = (alpha / np.where(denom > 0.0, denom, 1.0)) ** safe_exp
+            q = np.where(
+                denom > 0.0,
+                interior,
+                np.where(alpha > 0.0, hi, lo),
+            )
+            q = np.where(gam == 1.0, np.where(alpha > theta_beta, hi, lo), q)
+            return np.clip(q, lo, hi)
+
+    return np.stack(
+        [optimize_quality(rule, cost, float(theta), b) for theta in t]
+    )
 
 
 def _best_corner(rule: ScoringRule, cost: CostModel, theta: float, bounds: np.ndarray):
@@ -227,11 +275,9 @@ class EquilibriumSolver:
     def _build_tables(self) -> None:
         dist = self.model.distribution
         self.theta_grid = np.linspace(dist.lo, dist.hi, self.grid_size)
-        qualities = np.empty((self.grid_size, self.quality_rule.n_dimensions))
-        for i, theta in enumerate(self.theta_grid):
-            qualities[i] = optimize_quality(
-                self.quality_rule, self.cost, float(theta), self.quality_bounds
-            )
+        qualities = optimize_quality_batch(
+            self.quality_rule, self.cost, self.theta_grid, self.quality_bounds
+        )
         self.quality_grid = qualities
         scores = self.quality_rule.value_batch(qualities)
         costs = np.asarray(

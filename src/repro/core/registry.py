@@ -37,6 +37,7 @@ __all__ = [
     "WINNER_SELECTIONS",
     "PAYMENT_RULES",
     "MARGIN_METHODS",
+    "EXECUTORS",
 ]
 
 
@@ -147,3 +148,5 @@ THETA_DISTRIBUTIONS = Registry("theta distribution")
 WINNER_SELECTIONS = Registry("winner selection")
 PAYMENT_RULES = Registry("payment rule")
 MARGIN_METHODS = Registry("margin backend")
+# Sweep executors (members live in repro.api.executor: serial/thread/process).
+EXECUTORS = Registry("executor")

@@ -6,6 +6,7 @@ experiments (Section V-C).
 """
 
 from .cluster import (
+    ClusterQualityExtractor,
     ClusterNodeSpec,
     SimulatedCluster,
     build_cluster_specs,
@@ -36,5 +37,6 @@ __all__ = [
     "ClusterNodeSpec",
     "SimulatedCluster",
     "build_cluster_specs",
+    "ClusterQualityExtractor",
     "cluster_quality_extractor",
 ]

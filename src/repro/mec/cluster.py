@@ -21,7 +21,13 @@ from .network import Link, duplex_transfer_time
 from .resources import ResourceProfile
 from .timing import ComputeModel
 
-__all__ = ["ClusterNodeSpec", "SimulatedCluster", "build_cluster_specs", "cluster_quality_extractor"]
+__all__ = [
+    "ClusterNodeSpec",
+    "SimulatedCluster",
+    "build_cluster_specs",
+    "ClusterQualityExtractor",
+    "cluster_quality_extractor",
+]
 
 
 @dataclass(frozen=True)
@@ -120,26 +126,38 @@ def build_cluster_specs(
     return specs
 
 
-def cluster_quality_extractor(
-    max_cores: int, max_bandwidth_mbps: float, max_data_size: int
-):
+@dataclass(frozen=True)
+class ClusterQualityExtractor:
     """Normalised 3-D quality ``(compute, bandwidth, data)`` in [0, 1].
 
     Matches the real-world scoring function's resource triple; the additive
     rule ``0.4 q1 + 0.3 q2 + 0.3 q3`` then operates on comparable scales
-    (the min-max normalisation the walk-through example applies).
+    (the min-max normalisation the walk-through example applies).  A frozen
+    dataclass rather than a closure so agents carrying it can cross process
+    boundaries (parallel sweep executors pickle their work).
     """
-    if max_cores < 1 or max_bandwidth_mbps <= 0 or max_data_size < 1:
-        raise ValueError("normalisation maxima must be positive")
 
-    def extractor(profile: ResourceProfile) -> np.ndarray:
+    max_cores: int
+    max_bandwidth_mbps: float
+    max_data_size: int
+
+    def __post_init__(self) -> None:
+        if self.max_cores < 1 or self.max_bandwidth_mbps <= 0 or self.max_data_size < 1:
+            raise ValueError("normalisation maxima must be positive")
+
+    def __call__(self, profile: ResourceProfile) -> np.ndarray:
         return np.asarray(
             [
-                min(profile.cpu_cores / max_cores, 1.0),
-                min(profile.bandwidth_mbps / max_bandwidth_mbps, 1.0),
-                min(profile.data_size / max_data_size, 1.0),
+                min(profile.cpu_cores / self.max_cores, 1.0),
+                min(profile.bandwidth_mbps / self.max_bandwidth_mbps, 1.0),
+                min(profile.data_size / self.max_data_size, 1.0),
             ],
             dtype=float,
         )
 
-    return extractor
+
+def cluster_quality_extractor(
+    max_cores: int, max_bandwidth_mbps: float, max_data_size: int
+) -> ClusterQualityExtractor:
+    """Factory kept for callers predating :class:`ClusterQualityExtractor`."""
+    return ClusterQualityExtractor(max_cores, max_bandwidth_mbps, max_data_size)

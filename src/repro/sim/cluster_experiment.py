@@ -7,9 +7,20 @@ additive rule ``S = 0.4 q1 + 0.3 q2 + 0.3 q3 - p``; data sizes span
 each round".  Figs 12-13 report CIFAR-10 accuracy per round and wall-clock
 time (per round and to target accuracy) for FMore vs RandFL.
 
-This module assembles that experiment on the :class:`SimulatedCluster`
-timing substrate: the same federated trainer, a 3-D additive auction and a
-synchronous-round wall-clock model.
+Since the execution-layer refactor this experiment is a
+``variant="cluster"`` :class:`~repro.api.Scenario` like any other — the
+registry-driven engine assembles the 3-D additive auction, the
+:class:`SimulatedCluster` wall-clock model and the bidding agents, and
+:func:`run_cluster_comparison` is a thin shim over
+``FMoreEngine().run(Scenario.from_cluster_config(cfg))`` (bitwise-identical
+seed streams).  New code should prefer the scenario surface directly::
+
+    from repro.api import FMoreEngine, Scenario
+
+    result = FMoreEngine().run(Scenario.from_preset("cluster_cifar10"))
+
+:func:`build_cluster_environment` remains for callers that want the raw
+assembled objects (cluster specs, solver, agents) rather than a run.
 """
 
 from __future__ import annotations
@@ -18,18 +29,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.auction import MultiDimensionalProcurementAuction
 from ..core.costs import LinearCost
 from ..core.equilibrium import EquilibriumSolver
-from ..core.mechanism import FMoreMechanism
 from ..core.scoring import AdditiveScore
 from ..core.valuation import PrivateValueModel, UniformTheta
-from ..fl.client import FLClient
-from ..fl.models import build_model
 from ..fl.partition import heterogeneous_specs, materialize_clients
-from ..fl.selection import AuctionSelection, FixedSelection, RandomSelection
-from ..fl.server import FedAvgServer
-from ..fl.trainer import FederatedTrainer, TrainingHistory
+from ..fl.trainer import TrainingHistory
 from ..fl.datasets import make_generator
 from ..mec.cluster import (
     SimulatedCluster,
@@ -170,54 +175,13 @@ def run_cluster_comparison(
     schemes: tuple[str, ...] = ("FMore", "RandFL"),
     seed: int = 0,
 ) -> dict[str, TrainingHistory]:
-    """Run the testbed schemes on one shared environment (Figs 12-13)."""
-    env = build_cluster_environment(cfg, seed)
-    results: dict[str, TrainingHistory] = {}
-    client_ids = [c.client_id for c in env.clients_data]
-    max_data = env.max_data_size
-    for scheme in schemes:
-        global_model = build_model(
-            cfg.dataset,
-            env.generator.input_shape,
-            env.generator.n_classes,
-            rng_from(seed, "cluster-model"),
-            width=cfg.model_width,
-            lr=cfg.lr,
-        )
-        if env.initial_weights:
-            global_model.set_weights(env.initial_weights)
-        else:
-            env.initial_weights = global_model.get_weights()
-        server = FedAvgServer(global_model)
-        clients = [
-            FLClient(d, local_epochs=cfg.local_epochs, batch_size=cfg.batch_size)
-            for d in env.clients_data
-        ]
-        if scheme == "RandFL":
-            selection = RandomSelection(client_ids, cfg.k_winners)
-        elif scheme == "FixFL":
-            selection = FixedSelection(
-                client_ids, cfg.k_winners, rng_from(seed, "cluster-fixfl")
-            )
-        elif scheme == "FMore":
-            auction = MultiDimensionalProcurementAuction(
-                env.solver.quality_rule, cfg.k_winners
-            )
-            selection = AuctionSelection(
-                FMoreMechanism(auction),
-                env.agents,
-                quality_to_samples=lambda q: int(round(q[2] * max_data)),
-            )
-        else:
-            raise ValueError(f"unknown cluster scheme {scheme!r}")
-        trainer = FederatedTrainer(
-            server,
-            clients,
-            selection,
-            env.test_x,
-            env.test_y,
-            rng_from(seed, f"cluster-train-{scheme}"),
-            timer=env.cluster,
-        )
-        results[scheme] = trainer.run(cfg.n_rounds)
-    return results
+    """Run the testbed schemes on one shared environment (Figs 12-13).
+
+    Delegates to the engine via ``Scenario.from_cluster_config`` — same
+    named seed streams, same histories as the historical hand-assembled
+    loop, plus the engine's solver cache and executor support.
+    """
+    from ..api import FMoreEngine, Scenario
+
+    scenario = Scenario.from_cluster_config(cfg, schemes=tuple(schemes), seeds=(seed,))
+    return FMoreEngine().run(scenario).comparison()

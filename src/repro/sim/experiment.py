@@ -1,4 +1,4 @@
-"""Legacy experiment builders — thin shims over :mod:`repro.api`.
+"""Deprecated experiment builders — thin shims over :mod:`repro.api`.
 
 Historically this module hand-assembled the federation, the auction
 environment and the scheme runners from an
@@ -7,7 +7,9 @@ the registry-driven :mod:`repro.api.engine`; the functions here keep
 their exact signatures and behaviour (same RNG streams, same histories)
 by lifting the config to a :class:`~repro.api.Scenario` and delegating.
 
-New code should prefer the declarative surface directly::
+Every call emits a :class:`DeprecationWarning`: all in-repo callers have
+migrated, and the shims will be removed once downstream users follow.
+New code should use the declarative surface directly::
 
     from repro.api import FMoreEngine, Scenario
 
@@ -15,6 +17,8 @@ New code should prefer the declarative surface directly::
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..api.engine import (
     SAMPLES_PER_QUALITY_UNIT,
@@ -47,6 +51,15 @@ __all__ = [
 SCHEMES = SCHEME_NAMES
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.sim.{name} is deprecated; use {replacement} "
+        "(see repro.api — Scenario + FMoreEngine)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def build_federation(cfg: ExperimentConfig, seed: int) -> Federation:
     """Materialise clients, test set and private types for one seed.
 
@@ -54,6 +67,7 @@ def build_federation(cfg: ExperimentConfig, seed: int) -> Federation:
     identical data and identical theta draws, as the paper's comparisons
     require.
     """
+    _deprecated("build_federation", "repro.api.build_federation(Scenario.from_config(cfg), seed)")
     return _build_federation(Scenario.from_config(cfg), seed)
 
 
@@ -67,6 +81,7 @@ def build_solver(
     Scoring ``s(q) = alpha * q1 * q2`` over (kilosamples, category
     proportion); linear cost; uniform types — Section V-A's setup.
     """
+    _deprecated("build_solver", "repro.api.build_solver(Scenario.from_config(cfg), ...)")
     return _build_solver(
         Scenario.from_config(cfg), n_clients=n_clients, k_winners=k_winners
     )
@@ -78,6 +93,7 @@ def build_agents(
     solver: EquilibriumSolver,
 ) -> list[EdgeNode]:
     """One bidding agent per client, capacity = its actual local data."""
+    _deprecated("build_agents", "repro.api.build_agents(Scenario.from_config(cfg), ...)")
     return _build_agents(Scenario.from_config(cfg), federation, solver)
 
 
@@ -89,6 +105,7 @@ def build_selection(
     solver: EquilibriumSolver | None = None,
 ) -> SelectionStrategy:
     """Construct the selection strategy for a scheme name."""
+    _deprecated("build_selection", "repro.api.build_selection(Scenario.from_config(cfg), ...)")
     return _build_selection(
         Scenario.from_config(cfg), scheme, federation, seed, solver=solver
     )
@@ -107,6 +124,7 @@ def run_scheme(
     All schemes for a given ``(cfg, seed)`` share the federation and the
     initial global weights; only training randomness differs per scheme.
     """
+    _deprecated("run_scheme", "repro.api.run_scheme(Scenario.from_config(cfg), ...)")
     return _run_scheme(
         Scenario.from_config(cfg),
         scheme,
@@ -124,6 +142,7 @@ def run_comparison(
     timer: RoundTimer | None = None,
 ) -> dict[str, TrainingHistory]:
     """Run several schemes on the same federation (one figure's curves)."""
+    _deprecated("run_comparison", "FMoreEngine().run(Scenario.from_config(cfg, ...)).comparison()")
     engine = FMoreEngine(timer=timer)
     scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=(seed,))
     return engine.run(scenario).comparison()

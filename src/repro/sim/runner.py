@@ -58,15 +58,23 @@ def run_seeds(
     schemes: tuple[str, ...],
     seeds: tuple[int, ...],
     timer=None,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> dict[str, list[TrainingHistory]]:
     """Run all schemes across seeds, grouped by scheme.
 
     One :class:`~repro.api.FMoreEngine` drives the whole plan, so the
     equilibrium strategy tables of the (seed-independent) advertised game
-    are built exactly once and reused by every seed.
+    are built exactly once and reused by every seed.  ``executor`` /
+    ``max_workers`` populate the scenario's ``execution`` spec — the
+    ``(scheme, seed)`` cells are embarrassingly parallel, and every
+    executor returns bitwise-identical histories.
     """
     engine = FMoreEngine(timer=timer)
     scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=tuple(seeds))
+    scenario = scenario.with_(
+        execution={"executor": executor, "max_workers": max_workers}
+    )
     return engine.run(scenario).histories
 
 
@@ -75,7 +83,11 @@ def averaged_comparison(
     schemes: tuple[str, ...],
     seeds: tuple[int, ...],
     timer=None,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> dict[str, dict[str, SeriesStats]]:
     """Seed-averaged accuracy/loss/time series for each scheme."""
-    grouped = run_seeds(cfg, schemes, seeds, timer=timer)
+    grouped = run_seeds(
+        cfg, schemes, seeds, timer=timer, executor=executor, max_workers=max_workers
+    )
     return {scheme: average_histories(h) for scheme, h in grouped.items()}

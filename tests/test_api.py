@@ -182,6 +182,7 @@ def smoke_scenario():
 
 
 class TestEngine:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_engine_reproduces_legacy_run_comparison(self, smoke_scenario):
         """Acceptance: engine histories == legacy histories, exactly."""
         from repro.sim import preset, run_comparison

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.__main__ import main
+from repro.api import FMoreEngine, Scenario
 from repro.sim.cluster_experiment import (
     ClusterConfig,
     build_cluster_environment,
@@ -69,6 +70,132 @@ class TestClusterEnvironment:
         )
         results = run_cluster_comparison(cfg, ("FixFL",), seed=0)
         assert len(results["FixFL"].records) == 1
+
+
+class TestClusterScenario:
+    """The Section V-C testbed as a variant="cluster" Scenario."""
+
+    CFG_KWARGS = dict(
+        n_nodes=6, k_winners=2, n_rounds=2, size_range=(30, 80),
+        test_per_class=4, model_width=0.12, grid_size=65,
+    )
+
+    def test_from_preset_cluster(self):
+        scenario = Scenario.from_preset("cluster_cifar10")
+        assert scenario.variant == "cluster"
+        assert scenario.dataset == "cifar10"
+        assert scenario.n_clients == 31
+        assert scenario.schemes == ("FMore", "RandFL")
+        assert scenario.scoring == {"name": "additive", "weights": [0.4, 0.3, 0.3]}
+        # The hand-built solver defaulted to quadrature; the lift keeps it.
+        assert scenario.payment_method == "quadrature"
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_unknown_preset_lists_names(self):
+        with pytest.raises(ValueError, match="cluster_cifar10"):
+            Scenario.from_preset("warp")
+
+    def test_cluster_scenario_rejects_legacy_config_projection(self):
+        scenario = Scenario.from_preset("cluster_cifar10")
+        with pytest.raises(ValueError, match="FMoreEngine"):
+            scenario.to_config()
+
+    def test_engine_matches_legacy_assembly_bitwise(self):
+        """The lift's acceptance: engine-driven cluster histories equal a
+        manual legacy-style loop over build_cluster_environment."""
+        from repro.core.auction import MultiDimensionalProcurementAuction
+        from repro.core.mechanism import FMoreMechanism
+        from repro.fl.client import FLClient
+        from repro.fl.models import build_model
+        from repro.fl.selection import AuctionSelection, RandomSelection
+        from repro.fl.server import FedAvgServer
+        from repro.fl.trainer import FederatedTrainer
+        from repro.sim.rng import rng_from
+
+        seed = 1
+        cfg = ClusterConfig(**self.CFG_KWARGS)
+        env = build_cluster_environment(cfg, seed)
+        legacy = {}
+        client_ids = [c.client_id for c in env.clients_data]
+        max_data = env.max_data_size
+        for scheme in ("FMore", "RandFL"):
+            global_model = build_model(
+                cfg.dataset,
+                env.generator.input_shape,
+                env.generator.n_classes,
+                rng_from(seed, "cluster-model"),
+                width=cfg.model_width,
+                lr=cfg.lr,
+            )
+            if env.initial_weights:
+                global_model.set_weights(env.initial_weights)
+            else:
+                env.initial_weights = global_model.get_weights()
+            clients = [
+                FLClient(d, local_epochs=cfg.local_epochs, batch_size=cfg.batch_size)
+                for d in env.clients_data
+            ]
+            if scheme == "RandFL":
+                selection = RandomSelection(client_ids, cfg.k_winners)
+            else:
+                auction = MultiDimensionalProcurementAuction(
+                    env.solver.quality_rule, cfg.k_winners
+                )
+                selection = AuctionSelection(
+                    FMoreMechanism(auction),
+                    env.agents,
+                    quality_to_samples=lambda q: int(round(q[2] * max_data)),
+                )
+            trainer = FederatedTrainer(
+                FedAvgServer(global_model),
+                clients,
+                selection,
+                env.test_x,
+                env.test_y,
+                rng_from(seed, f"cluster-train-{scheme}"),
+                timer=env.cluster,
+            )
+            legacy[scheme] = trainer.run(cfg.n_rounds)
+
+        from repro.api import FMoreEngine, Scenario as S
+
+        scenario = S.from_cluster_config(cfg, schemes=("FMore", "RandFL"), seeds=(seed,))
+        mine = FMoreEngine().run(scenario).comparison()
+        for scheme, reference in legacy.items():
+            assert mine[scheme].records == reference.records
+            assert mine[scheme].cumulative_seconds == reference.cumulative_seconds
+
+    def test_run_cluster_comparison_delegates_to_engine(self):
+        cfg = ClusterConfig(**self.CFG_KWARGS)
+        shim = run_cluster_comparison(cfg, ("FMore", "RandFL"), seed=1)
+        scenario = Scenario.from_cluster_config(cfg, schemes=("FMore", "RandFL"), seeds=(1,))
+        direct = FMoreEngine().run(scenario).comparison()
+        for scheme in shim:
+            assert shim[scheme].records == direct[scheme].records
+
+    def test_cluster_timer_comes_from_federation(self):
+        from repro.api import build_federation
+
+        scenario = Scenario.from_cluster_config(ClusterConfig(**self.CFG_KWARGS))
+        federation = build_federation(scenario, 0)
+        assert federation.cluster is not None
+        assert len(federation.cluster_specs) == scenario.n_clients
+        for c in federation.clients_data:
+            assert federation.cluster.specs[c.client_id].profile.data_size == c.size
+
+    def test_cluster_needs_three_scoring_dimensions(self):
+        from repro.api import build_agents, build_federation, build_solver
+
+        scenario = Scenario.from_cluster_config(
+            ClusterConfig(**self.CFG_KWARGS)
+        ).with_(
+            scoring={"name": "additive", "weights": [0.5, 0.5]},
+            cost={"name": "linear", "betas": [0.25, 0.25]},
+        )
+        federation = build_federation(scenario, 0)
+        solver = build_solver(scenario)
+        with pytest.raises(ValueError, match="3-D"):
+            build_agents(scenario, federation, solver)
 
 
 class TestCLI:

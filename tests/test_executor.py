@@ -1,0 +1,189 @@
+"""Tests for the executor subsystem and the engine's cell fan-out.
+
+The contract the sweep layer rests on: every executor — serial, thread,
+process — returns bitwise-identical ``RunResult`` histories for the same
+scenario, because each ``(scheme, seed)`` cell derives its randomness from
+named per-cell seed streams and nothing else.
+"""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.api import (
+    EXECUTORS,
+    Executor,
+    FMoreEngine,
+    ProcessExecutor,
+    Scenario,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+
+class TestExecutorRegistry:
+    def test_registered_names(self):
+        assert {"serial", "thread", "process"} <= set(EXECUTORS.names())
+
+    def test_create_from_spec(self):
+        executor = EXECUTORS.create({"name": "process", "max_workers": 3})
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 3
+        assert not executor.in_process
+
+    def test_worker_count_bounded_by_items(self):
+        assert ThreadExecutor(max_workers=8).worker_count(2) == 2
+        assert ThreadExecutor(max_workers=2).worker_count(8) == 2
+        assert SerialExecutor().worker_count(0) == 1
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ThreadExecutor(max_workers=0)
+
+    def test_map_preserves_order(self):
+        for executor in (SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)):
+            assert executor.map(abs, [-3, -1, -2]) == [3, 1, 2]
+
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            Executor()
+
+
+class TestExecutionSpec:
+    def test_default_is_serial(self):
+        assert Scenario().execution == {"executor": "serial", "max_workers": None}
+
+    def test_canonicalised_and_round_tripped(self):
+        scenario = Scenario(execution={"executor": "process", "max_workers": 2})
+        assert scenario.execution == {"executor": "process", "max_workers": 2}
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.execution == scenario.execution
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            Scenario(execution={"executor": "gpu_farm"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution keys"):
+            Scenario(execution={"executor": "serial", "pool": 4})
+
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            Scenario(execution={"executor": "thread", "max_workers": 0})
+
+    def test_cli_parallel_sets_process_spec(self, capsys):
+        assert main(["scenario", "--preset", "smoke", "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        spec = json.loads(out)
+        assert spec["execution"] == {"executor": "process", "max_workers": 2}
+
+    def test_cli_executor_flag(self, capsys):
+        assert main(["scenario", "--preset", "smoke", "--executor", "thread"]) == 0
+        import json
+
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["execution"]["executor"] == "thread"
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return Scenario.from_preset(
+        "smoke",
+        "mnist_o",
+        schemes=("FMore", "RandFL", "FixFL"),
+        seeds=(0, 1),
+        n_rounds=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(plan):
+    return FMoreEngine().run(plan)
+
+
+class TestExecutorDeterminism:
+    """Acceptance: process/thread histories == serial, bitwise."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_identical_to_serial(self, plan, serial_result, executor):
+        scenario = plan.with_(
+            execution={"executor": executor, "max_workers": 2}
+        )
+        result = FMoreEngine().run(scenario)
+        assert set(result.histories) == set(serial_result.histories)
+        for scheme, histories in result.histories.items():
+            reference = serial_result.histories[scheme]
+            assert len(histories) == len(reference) == len(plan.seeds)
+            for mine, ref in zip(histories, reference):
+                assert mine.scheme == ref.scheme
+                assert mine.records == ref.records
+
+    def test_seed_order_preserved(self, plan, serial_result):
+        # histories[scheme][i] must correspond to seeds[i].
+        scenario = plan.with_(
+            schemes=("RandFL",), execution={"executor": "process", "max_workers": 2}
+        )
+        result = FMoreEngine().run(scenario)
+        for i, seed in enumerate(scenario.seeds):
+            assert (
+                result.histories["RandFL"][i].records
+                == serial_result.histories["RandFL"][i].records
+            )
+            assert result.history("RandFL", seed) is result.histories["RandFL"][i]
+
+    def test_run_seeds_passthrough(self, plan, serial_result):
+        from repro.sim import preset
+        from repro.sim.runner import run_seeds
+
+        cfg = preset("smoke", "mnist_o").with_(n_rounds=2)
+        grouped = run_seeds(
+            cfg,
+            ("FMore", "RandFL", "FixFL"),
+            (0, 1),
+            executor="thread",
+            max_workers=2,
+        )
+        for scheme, histories in grouped.items():
+            for mine, ref in zip(histories, serial_result.histories[scheme]):
+                assert mine.records == ref.records
+
+    def test_cluster_scenario_parallel_matches_serial(self):
+        scenario = Scenario.from_preset(
+            "cluster_cifar10",
+            seeds=(0, 1),
+            n_clients=6,
+            k_winners=2,
+            n_rounds=1,
+            size_range=(30, 80),
+            test_per_class=4,
+            model_width=0.12,
+            grid_size=65,
+        )
+        serial = FMoreEngine().run(scenario)
+        parallel = FMoreEngine().run(
+            scenario.with_(execution={"executor": "process", "max_workers": 2})
+        )
+        for scheme in scenario.schemes:
+            for mine, ref in zip(
+                parallel.histories[scheme], serial.histories[scheme]
+            ):
+                assert mine.records == ref.records
+                assert mine.cumulative_seconds == ref.cumulative_seconds
+
+
+class TestEngineCacheWithExecutors:
+    def test_thread_executor_still_one_grid_build(self, plan):
+        engine = FMoreEngine()
+        engine.run(
+            plan.with_(
+                schemes=("FMore",),
+                seeds=(0, 1, 2),
+                n_rounds=1,
+                execution={"executor": "thread", "max_workers": 2},
+            )
+        )
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 2

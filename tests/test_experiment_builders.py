@@ -1,4 +1,9 @@
-"""Tests for the sim experiment builders (federation, solver, selection)."""
+"""Tests for the deprecated sim experiment-builder shims.
+
+These keep exercising the legacy ``ExperimentConfig``-based surface until
+it is removed; the shims warn on every call, so the module filters the
+expected :class:`DeprecationWarning` (and asserts it once, explicitly).
+"""
 
 import numpy as np
 import pytest
@@ -11,6 +16,21 @@ from repro.sim import (
     build_solver,
     preset,
 )
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+class TestDeprecation:
+    def test_builders_warn(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            build_federation(preset("smoke", "mnist_o"), seed=0)
+
+    def test_run_comparison_warns(self):
+        from repro.sim import run_comparison
+
+        cfg = preset("smoke", "mnist_o").with_(n_rounds=1)
+        with pytest.warns(DeprecationWarning, match="FMoreEngine"):
+            run_comparison(cfg, ("RandFL",), seed=0)
 
 
 @pytest.fixture(scope="module")

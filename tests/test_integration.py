@@ -10,14 +10,16 @@ import numpy as np
 import pytest
 
 from repro.analysis import headline_metrics, selection_rank_proportions
-from repro.sim import preset, run_comparison, run_scheme, build_federation, build_solver
+from repro.api import FMoreEngine, Scenario, build_federation, run_scheme
+from repro.sim import preset
 from repro.sim.cluster_experiment import ClusterConfig, run_cluster_comparison
 
 
 @pytest.fixture(scope="module")
 def smoke_results():
     cfg = preset("smoke", "mnist_o").with_(n_rounds=6)
-    return cfg, run_comparison(cfg, ("FMore", "RandFL", "FixFL"), seed=3)
+    scenario = Scenario.from_config(cfg, schemes=("FMore", "RandFL", "FixFL"), seeds=(3,))
+    return cfg, FMoreEngine().run(scenario).comparison()
 
 
 class TestEndToEnd:
@@ -51,7 +53,7 @@ class TestEndToEnd:
         """The selection skew the paper's Fig 8 shows: FMore's winners hold
         more data x diversity than the population average."""
         cfg, results = smoke_results
-        federation = build_federation(cfg, 3)
+        federation = build_federation(Scenario.from_config(cfg), 3)
         value = {
             c.client_id: c.size * max(c.category_proportion, 0.05)
             for c in federation.clients_data
@@ -64,17 +66,17 @@ class TestEndToEnd:
 
     def test_histories_share_initial_conditions(self):
         """Same (cfg, seed): schemes must start from identical weights."""
-        cfg = preset("smoke", "mnist_o").with_(n_rounds=1)
-        federation = build_federation(cfg, 0)
-        h1 = run_scheme(cfg, "RandFL", 0, federation=federation)
-        h2 = run_scheme(cfg, "FixFL", 0, federation=federation)
+        scenario = Scenario.from_config(preset("smoke", "mnist_o").with_(n_rounds=1))
+        federation = build_federation(scenario, 0)
+        h1 = run_scheme(scenario, "RandFL", 0, federation=federation)
+        h2 = run_scheme(scenario, "FixFL", 0, federation=federation)
         assert federation.initial_weights  # populated by the first run
         assert len(h1.records) == len(h2.records) == 1
 
     def test_reproducible_given_seed(self):
-        cfg = preset("smoke", "mnist_o").with_(n_rounds=2)
-        a = run_scheme(cfg, "FMore", seed=11)
-        b = run_scheme(cfg, "FMore", seed=11)
+        scenario = Scenario.from_config(preset("smoke", "mnist_o").with_(n_rounds=2))
+        a = run_scheme(scenario, "FMore", seed=11)
+        b = run_scheme(scenario, "FMore", seed=11)
         assert a.accuracies == b.accuracies
         assert [r.winner_ids for r in a.records] == [r.winner_ids for r in b.records]
 
@@ -88,8 +90,8 @@ class TestPsiFMore:
     def test_psi_spreads_winners(self):
         cfg = preset("smoke", "mnist_o").with_(n_rounds=6)
         low_psi = cfg.with_(auction=cfg.auction.__class__(psi=0.3, grid_size=65))
-        h_psi = run_scheme(low_psi, "PsiFMore", seed=5)
-        h_top = run_scheme(cfg, "FMore", seed=5)
+        h_psi = run_scheme(Scenario.from_config(low_psi), "PsiFMore", seed=5)
+        h_top = run_scheme(Scenario.from_config(cfg), "FMore", seed=5)
         distinct_psi = len(h_psi.winner_counts())
         distinct_top = len(h_top.winner_counts())
         assert distinct_psi >= distinct_top
@@ -98,8 +100,8 @@ class TestPsiFMore:
         cfg = preset("smoke", "mnist_o").with_(n_rounds=5, n_clients=12, k_winners=3)
         hi = cfg.with_(auction=cfg.auction.__class__(psi=0.95, grid_size=65))
         lo = cfg.with_(auction=cfg.auction.__class__(psi=0.25, grid_size=65))
-        h_hi = run_scheme(hi, "PsiFMore", seed=7)
-        h_lo = run_scheme(lo, "PsiFMore", seed=7)
+        h_hi = run_scheme(Scenario.from_config(hi), "PsiFMore", seed=7)
+        h_lo = run_scheme(Scenario.from_config(lo), "PsiFMore", seed=7)
         top3_hi = selection_rank_proportions(h_hi, rank_cutoffs=(3,))[3]
         top3_lo = selection_rank_proportions(h_lo, rank_cutoffs=(3,))[3]
         assert top3_hi >= top3_lo

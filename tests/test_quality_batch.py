@@ -1,0 +1,159 @@
+"""Tests for the vectorised strategy-grid build (optimize_quality_batch).
+
+The executor refactor made the grid build one NumPy pass; these tests pin
+the contract that made that safe — bitwise equality with the per-point
+optimiser on every cost family — plus the ``with_population`` clone and
+``bid_batch`` edge cases the engine's solver cache leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import LinearCost, PowerCost, QuadraticCost
+from repro.core.equilibrium import (
+    EquilibriumSolver,
+    optimize_quality,
+    optimize_quality_batch,
+    win_kernel,
+)
+from repro.core.scoring import AdditiveScore, MultiplicativeScore
+from repro.core.valuation import PrivateValueModel, UniformTheta
+
+BOUNDS = np.asarray([[0.01, 5.0], [0.05, 1.0]], dtype=float)
+THETAS = np.linspace(0.1, 1.0, 257)
+
+
+def _families():
+    return [
+        ("additive-linear", AdditiveScore([0.6, 0.4]), LinearCost([4.0, 2.0])),
+        ("additive-quadratic", AdditiveScore([0.6, 0.4]), QuadraticCost([4.0, 2.0])),
+        ("additive-power", AdditiveScore([0.6, 0.4]), PowerCost([4.0, 2.0], [1.0, 2.5])),
+        ("additive-power-uniform", AdditiveScore([0.6, 0.4]), PowerCost([4.0, 2.0], 1.7)),
+        # Non-closed-form: must agree via the numerical fallback.
+        ("multiplicative-linear", MultiplicativeScore(2, 25.0), LinearCost([4.0, 2.0])),
+    ]
+
+
+class TestBatchEqualsLoop:
+    @pytest.mark.parametrize("name,rule,cost", _families(), ids=[f[0] for f in _families()])
+    def test_bitwise_equal_to_per_point(self, name, rule, cost):
+        batch = optimize_quality_batch(rule, cost, THETAS, BOUNDS)
+        loop = np.stack(
+            [optimize_quality(rule, cost, float(t), BOUNDS) for t in THETAS]
+        )
+        assert batch.shape == (THETAS.size, 2)
+        assert (batch == loop).all(), f"{name}: batch differs from per-point loop"
+
+    def test_empty_thetas(self):
+        out = optimize_quality_batch(
+            AdditiveScore([0.5, 0.5]), LinearCost([1.0, 1.0]), [], BOUNDS
+        )
+        assert out.shape == (0, 2)
+
+    def test_rejects_bad_bounds(self):
+        rule, cost = AdditiveScore([0.5, 0.5]), LinearCost([1.0, 1.0])
+        with pytest.raises(ValueError, match="bounds"):
+            optimize_quality_batch(rule, cost, [0.5], [[0.0, 1.0]])
+        with pytest.raises(ValueError, match="lo <= hi"):
+            optimize_quality_batch(rule, cost, [0.5], [[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="1-D"):
+            optimize_quality_batch(rule, cost, [[0.5]], BOUNDS)
+
+    def test_solver_grid_matches_per_point_build(self):
+        """_build_tables now uses the batch path; the tables must be the
+        exact grids the per-point loop produced."""
+        solver = EquilibriumSolver(
+            AdditiveScore([0.4, 0.3]),
+            QuadraticCost([0.25, 0.5]),
+            PrivateValueModel(UniformTheta(0.1, 1.0), 20, 5),
+            [[0.0, 1.0], [0.0, 1.0]],
+            grid_size=129,
+        )
+        expected = np.stack(
+            [
+                optimize_quality(
+                    solver.quality_rule, solver.cost, float(t), solver.quality_bounds
+                )
+                for t in solver.theta_grid
+            ]
+        )
+        assert (solver.quality_grid == expected).all()
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return EquilibriumSolver(
+        MultiplicativeScore(2, 25.0),
+        LinearCost([4.0, 2.0]),
+        PrivateValueModel(UniformTheta(0.1, 1.0), 30, 6),
+        BOUNDS,
+        grid_size=65,
+    )
+
+
+class TestWithPopulationClones:
+    def test_quality_tables_shared_not_copied(self, solver):
+        clone = solver.with_population(n_nodes=50, k_winners=10)
+        assert clone.theta_grid is solver.theta_grid
+        assert clone.quality_grid is solver.quality_grid
+        assert clone.u0_grid is solver.u0_grid
+        assert clone.u_incr is solver.u_incr
+        assert clone.h_grid is solver.h_grid
+        assert clone.model.n_nodes == 50
+        assert clone.model.k_winners == 10
+
+    def test_winning_kernel_refreshed(self, solver):
+        clone = solver.with_population(k_winners=solver.model.k_winners + 5)
+        expected = win_kernel(
+            clone.h_grid,
+            clone.model.n_nodes,
+            clone.model.k_winners,
+            clone.win_model,
+        )
+        assert (clone.g_grid == expected).all()
+        assert not np.array_equal(clone.g_grid, solver.g_grid)
+
+    def test_margin_cache_isolated(self, solver):
+        # Populate the original's cache, then clone: the clone must start
+        # empty and filling it must not leak entries back.
+        solver.margin(0.5)
+        assert solver._margin_cache
+        before = dict(solver._margin_cache)
+        clone = solver.with_population(n_nodes=60)
+        assert clone._margin_cache == {}
+        clone.margin(0.5)
+        assert clone._margin_cache
+        key = next(iter(clone._margin_cache))
+        assert solver._margin_cache.keys() == before.keys()
+        assert solver._margin_cache[key] is not clone._margin_cache[key]
+
+    def test_clone_payments_differ_with_population(self, solver):
+        """More competition lowers the equilibrium payment (Theorem 2)."""
+        crowded = solver.with_population(n_nodes=300)
+        assert crowded.payment(0.3) < solver.payment(0.3)
+
+    def test_default_clone_matches_original(self, solver):
+        clone = solver.with_population()
+        assert (clone.g_grid == solver.g_grid).all()
+        assert clone.payment(0.4) == solver.payment(0.4)
+
+
+class TestBidBatchEdges:
+    def test_empty_thetas_uncapped(self, solver):
+        qualities, payments = solver.bid_batch(np.empty(0))
+        assert qualities.shape == (0, 2)
+        assert payments.shape == (0,)
+
+    def test_empty_thetas_with_costs_and_caps(self, solver):
+        qualities, payments, costs = solver.bid_batch(
+            np.empty(0), capacities=np.empty((0, 2)), with_costs=True
+        )
+        assert qualities.shape == (0, 2)
+        assert payments.shape == (0,)
+        assert costs.shape == (0,)
+
+    def test_empty_thetas_skip_support_check(self, solver):
+        # An empty vector has no min/max; it must not trip the support
+        # validation that guards non-empty inputs.
+        qualities, payments = solver.bid_batch([])
+        assert payments.size == 0
