@@ -1,0 +1,131 @@
+"""Perf-trajectory gate: compare two ``BENCH_grid_build.json`` artifacts.
+
+The ``bench-smoke`` CI job uploads the grid-build timings of every commit;
+this script turns that stream of artifacts into a *tracked trajectory* by
+comparing the current run against the previous one and failing on a
+regression beyond the allowed band.
+
+Only the vectorised ``batch_seconds`` per closed-form family is gated —
+it is the hot path the execution layer optimises and the stablest timing
+in the artifact (the sweep section trains neural nets and is reported but
+not gated).  A missing/corrupt previous artifact is not an error: the
+first run of a branch has nothing to compare against.
+
+Usage::
+
+    python benchmarks/bench_compare.py PREVIOUS.json CURRENT.json \
+        [--max-regression 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_MAX_REGRESSION = 0.20
+# Millisecond-scale timings swing wildly across hosted runners; below this
+# absolute slack a relative band alone would flake on machine noise.
+DEFAULT_ABS_EPSILON_SECONDS = 0.01
+
+
+def load(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"note: cannot read {path}: {exc}")
+        return None
+
+
+def compare(
+    previous: dict,
+    current: dict,
+    max_regression: float,
+    abs_epsilon: float = DEFAULT_ABS_EPSILON_SECONDS,
+) -> list[str]:
+    """Human-readable comparison rows; returns the list of failures.
+
+    A family regresses when it exceeds the relative band *and* the
+    absolute slack: ``cur > prev * (1 + max_regression) + abs_epsilon``.
+    The epsilon keeps millisecond-scale timings from flaking on runner
+    noise (the bench itself already takes best-of-N per artifact).
+    """
+    failures: list[str] = []
+    prev_grid = previous.get("grid_build", {})
+    cur_grid = current.get("grid_build", {})
+    print(f"{'family':<12} {'previous':>10} {'current':>10} {'ratio':>7}  verdict")
+    for family in sorted(cur_grid):
+        cur_s = float(cur_grid[family]["batch_seconds"])
+        prev_row = prev_grid.get(family)
+        if prev_row is None:
+            print(f"{family:<12} {'-':>10} {cur_s:>10.4f} {'-':>7}  new family")
+            continue
+        prev_s = float(prev_row["batch_seconds"])
+        ratio = cur_s / prev_s if prev_s > 0 else float("inf")
+        regressed = cur_s > prev_s * (1.0 + max_regression) + abs_epsilon
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{family:<12} {prev_s:>10.4f} {cur_s:>10.4f} {ratio:>7.2f}  {verdict}")
+        if regressed:
+            failures.append(
+                f"{family}: batch build {prev_s:.4f}s -> {cur_s:.4f}s "
+                f"({ratio:.2f}x > {1 + max_regression:.2f}x allowed "
+                f"+ {abs_epsilon}s slack)"
+            )
+    # Sweep timings: reported for the trajectory, never gated (they train
+    # models and swing with CI machine load).
+    for name, row in sorted(current.get("sweep", {}).items()):
+        prev_row = previous.get("sweep", {}).get(name, {})
+        prev_s = prev_row.get("seconds")
+        prev_txt = f"{prev_s:.3f}s" if isinstance(prev_s, (int, float)) else "-"
+        print(f"sweep:{name:<11} {prev_txt:>9} -> {row['seconds']:.3f}s (informational)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", type=Path, help="previous BENCH_grid_build.json")
+    parser.add_argument("current", type=Path, help="current BENCH_grid_build.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional slowdown of grid-build batch_seconds "
+        f"(default {DEFAULT_MAX_REGRESSION:.0%})",
+    )
+    parser.add_argument(
+        "--abs-epsilon",
+        type=float,
+        default=DEFAULT_ABS_EPSILON_SECONDS,
+        help="absolute slack in seconds added to the relative band "
+        f"(default {DEFAULT_ABS_EPSILON_SECONDS}s; deflakes ms-scale timings)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        parser.error("--max-regression must be >= 0")
+    if args.abs_epsilon < 0:
+        parser.error("--abs-epsilon must be >= 0")
+
+    current = load(args.current)
+    if current is None:
+        print("FAILED: current benchmark artifact is unreadable", file=sys.stderr)
+        return 1
+    previous = load(args.previous)
+    if previous is None:
+        print("no previous artifact; trajectory starts at this commit")
+        return 0
+
+    failures = compare(
+        previous, current, args.max_regression, abs_epsilon=args.abs_epsilon
+    )
+    if failures:
+        print("\nFAILED perf trajectory:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nperf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

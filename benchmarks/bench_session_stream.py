@@ -1,0 +1,122 @@
+"""Streaming-session overhead micro-bench: events must be (nearly) free.
+
+``FMoreEngine.run`` is a consumer of the streaming session surface, so
+draining ``engine.session(...)`` by hand and calling ``engine.run(...)``
+execute the same per-round code; the only streaming extra is one
+:class:`~repro.api.RoundEvent` construction per round.  This bench pins
+that claim: manual event-by-event streaming must add **< 5%** wall-clock
+over the batch call (plus a small absolute epsilon so sub-second timings
+don't flake on noisy CI machines).
+
+Run standalone (writes ``BENCH_session_stream.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_session_stream.py --quick
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_session_stream.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_session_stream.json"
+
+MAX_OVERHEAD = 0.05          # streaming may cost at most 5% over run()
+ABS_EPSILON_SECONDS = 0.05   # timer-noise allowance for tiny workloads
+
+
+def _scenario(quick: bool):
+    from repro.api import Scenario
+
+    return Scenario.from_preset(
+        "smoke",
+        "mnist_o",
+        schemes=("FMore",),
+        seeds=(0,),
+        n_rounds=2 if quick else 5,
+        grid_size=33,
+    )
+
+
+def time_stream_vs_batch(quick: bool = True, repeats: int = 5) -> dict:
+    """Best-of-``repeats`` wall-clock for batch run vs manual streaming."""
+    from repro.api import FMoreEngine, Scenario  # noqa: F401
+
+    scenario = _scenario(quick)
+    engine = FMoreEngine()
+    engine.run(scenario)  # warm the solver cache for both measurements
+
+    def batch() -> None:
+        engine.run(scenario)
+
+    def stream() -> None:
+        for scheme in scenario.schemes:
+            for seed in scenario.seeds:
+                for _event in engine.session(scenario, scheme, seed):
+                    pass
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    batch_s = best_of(batch)
+    stream_s = best_of(stream)
+    overhead = stream_s / batch_s - 1.0
+    return {
+        "rounds": scenario.n_rounds,
+        "repeats": repeats,
+        "batch_seconds": batch_s,
+        "stream_seconds": stream_s,
+        "overhead": overhead,
+        "max_overhead": MAX_OVERHEAD,
+        "abs_epsilon_seconds": ABS_EPSILON_SECONDS,
+        "within_bound": stream_s <= batch_s * (1.0 + MAX_OVERHEAD) + ABS_EPSILON_SECONDS,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_streaming_overhead_under_5_percent():
+    row = time_stream_vs_batch(quick=True, repeats=5)
+    assert row["within_bound"], (
+        f"streaming {row['stream_seconds']:.4f}s vs batch "
+        f"{row['batch_seconds']:.4f}s = {row['overhead']:+.1%} overhead "
+        f"(bound {MAX_OVERHEAD:.0%} + {ABS_EPSILON_SECONDS}s)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="artifact path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    row = time_stream_vs_batch(quick=args.quick, repeats=5 if args.quick else 9)
+    payload = {"bench": "session_stream", "quick": args.quick, "stream": row}
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not row["within_bound"]:
+        print(
+            f"FAILED: streaming overhead {row['overhead']:+.1%} exceeds bound",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

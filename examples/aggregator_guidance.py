@@ -1,36 +1,39 @@
 """Proposition 4 in practice: steering the procured resource mix.
 
-An aggregator that values data, bandwidth and compute with a Cobb-Douglas
-utility can tune the exponents alpha to procure any target proportion of
-resources.  This example: (1) shows the closed-form optimal mix for a given
-alpha, (2) solves the inverse problem — which alpha buys twice as much data
-as bandwidth? — and (3) verifies both against the numerical Lagrangian and
-the q_i/q_j ratio law.
+Two views of aggregator guidance:
+
+1. **Closed form** — the Lagrangian optimum of Proposition 4, its ratio
+   law, and the inverse map (which exponents alpha buy a 2:1 data mix?).
+2. **A live guidance experiment** — the same knob driven *per round*
+   through the declarative API: a ``guidance`` round policy retunes the
+   Cobb-Douglas exponents toward a target mix every R rounds, and the
+   streaming session surface shows each ``alpha_update`` action as it
+   happens.  Everything is Scenario JSON — no assembly code.
 
 Run:  python examples/aggregator_guidance.py
 """
 
 import numpy as np
 
+from repro.api import FMoreEngine, Scenario
 from repro.core import (
     alphas_for_target_mix,
     optimal_quality_mix,
     quality_ratio,
-    solve_mix_numerically,
 )
 from repro.sim.reporting import ascii_table
 
-RESOURCES = ("data", "bandwidth", "compute")
-BETAS = [0.2, 0.3, 0.5]       # market cost coefficients (estimated)
+RESOURCES = ("data", "categories")
+BETAS = [0.67, 0.33]          # market cost coefficients (estimated)
 THETA = 0.5                   # typical private cost parameter
 BUDGET = 12.0                 # the aggregator's per-round budget c0
 
-# --- Forward: a chosen alpha -> the mix it procures -----------------------
-alphas = [0.5, 0.3, 0.2]
+# --- Part 1: the closed form ----------------------------------------------
+alphas = [0.6, 0.4]
 mix = optimal_quality_mix(alphas, BETAS, THETA, BUDGET)
 rows = [
-    (name, a, b, round(q, 3), round(share, 3))
-    for name, a, b, q, share in zip(
+    (name, round(float(a), 3), round(float(b), 3), round(float(q), 3), round(float(s), 3))
+    for name, a, b, q, s in zip(
         RESOURCES, mix.alphas, mix.betas, mix.quality, mix.spend_shares
     )
 ]
@@ -41,22 +44,56 @@ print(
         title=f"Proposition 4 optimal mix (theta={THETA}, budget={BUDGET})",
     )
 )
-print("\nnote: budget share equals alpha — the Cobb-Douglas signature.")
+lhs = mix.quality[0] / mix.quality[1]
+rhs = quality_ratio(mix.alphas[0], mix.alphas[1], mix.betas[0], mix.betas[1])
+print(f"\nratio law: q*_data/q*_categories = {lhs:.4f} (formula: {rhs:.4f})")
 
-# --- The ratio law q*_i / q*_j = (alpha_i/alpha_j) (beta_j/beta_i) --------
-for i, j in ((0, 1), (0, 2)):
-    lhs = mix.quality[i] / mix.quality[j]
-    rhs = quality_ratio(mix.alphas[i], mix.alphas[j], mix.betas[i], mix.betas[j])
-    print(f"q*_{RESOURCES[i]}/q*_{RESOURCES[j]} = {lhs:.4f}  (ratio law: {rhs:.4f})")
+target = np.array([2.0, 1.0])
+needed = alphas_for_target_mix(target, BETAS)
+print(f"inverse map: mix 2:1 needs alphas = {[round(float(a), 3) for a in needed]}")
 
-# --- Inverse: which alphas procure data : bandwidth : compute = 2 : 1 : 1?
-target = np.array([2.0, 1.0, 1.0])
-alphas_needed = alphas_for_target_mix(target, BETAS)
-achieved = optimal_quality_mix(alphas_needed, BETAS, THETA, BUDGET).quality
-print(f"\ntarget mix 2:1:1  ->  alphas = {[round(float(a), 3) for a in alphas_needed]}")
-print(f"achieved mix      ->  {[round(float(q / achieved[1]), 3) for q in achieved]}")
+# --- Part 2: the guidance experiment, declaratively -----------------------
+# A Cobb-Douglas aggregator (the utility family Proposition 4 analyses)
+# with a `guidance` round policy: every 2 rounds, compare the procured mix
+# against the target and retune the exponents.  The whole experiment is
+# one JSON-round-trippable Scenario.
+scenario = Scenario.from_preset(
+    "smoke",
+    "mnist_o",
+    schemes=("FMore",),
+    seeds=(0,),
+    n_rounds=6,
+    grid_size=33,
+).with_(
+    scoring={"name": "cobb_douglas", "weights": [0.5, 0.5], "scale": 25.0},
+    policies={
+        "guidance": {
+            "target_mix": [2.0, 1.0],
+            "betas": BETAS,
+            "every": 2,
+            "gain": 0.5,
+        }
+    },
+)
+assert Scenario.from_json(scenario.to_json()) == scenario  # pure JSON
 
-# --- Cross-check against the numerical Lagrangian -------------------------
-numeric = solve_mix_numerically(mix.alphas, mix.betas, THETA, BUDGET)
-err = float(np.max(np.abs(numeric - mix.quality) / mix.quality))
-print(f"\nclosed form vs SLSQP Lagrangian: max relative deviation {err:.2e}")
+print("\nstreaming the guidance run (alpha retuned every 2 rounds):")
+engine = FMoreEngine()
+for event in engine.session(scenario, "FMore", seed=0):
+    line = (
+        f"  round {event.round_index}: acc={event.accuracy:.3f} "
+        f"winners={event.winner_ids}"
+    )
+    for action in event.actions:
+        if action.kind == "alpha_update":
+            alphas_now = [round(a, 3) for a in action.payload["alphas"]]
+            observed = [round(v, 3) for v in action.payload["observed_mix"]]
+            line += f"\n      alpha -> {alphas_now}  (observed mix {observed})"
+    print(line)
+
+print(
+    "\nThe same experiment runs from the CLI:\n"
+    "  python -m repro run --preset smoke --set schemes=FMore \\\n"
+    "      --set 'scoring={\"name\":\"cobb_douglas\",\"weights\":[0.5,0.5],\"scale\":25.0}' \\\n"
+    "      --policy 'guidance={\"target_mix\":[2.0,1.0],\"every\":2}'"
+)

@@ -15,6 +15,14 @@ Usage::
     python -m repro run --preset cluster_cifar10     # Fig 12-13 via the engine
     python -m repro scenario --preset bench > exp.json   # emit a spec
 
+    # Round-policy pipeline: per-round behaviors as --policy stage=spec.
+    python -m repro run --preset smoke \
+        --policy 'selection={"name":"per_node_psi","schedule":"geometric","psi0":0.9,"decay":0.95}'
+    python -m repro run --preset smoke --policy 'churn={"departure_prob":0.1}' \
+        --policy 'audit_blacklist={"defect_fraction":0.2,"shortfall":0.5}'
+    python -m repro compare mnist_o --schemes FMore,PsiFMore \
+        --policy 'PsiFMore.selection={"name":"psi","psi":0.6}'   # per-scheme
+
 The ``run`` command consumes :class:`repro.api.Scenario` JSON files (see
 ``scenario`` to generate one) and drives the :class:`repro.api.FMoreEngine`
 façade; ``--set key=value`` overrides any scenario field.  Multi-seed
@@ -67,7 +75,34 @@ def _cmd_theory() -> int:
     return 0 if all(c.passed for c in checks) else 1
 
 
-def _cmd_compare(dataset: str, seed: int, rounds: int | None, schemes_raw: str | None) -> int:
+def _policy_overrides(policy_args: list[str]) -> list[str]:
+    """Translate ``--policy stage=spec`` items into dotted --set paths.
+
+    A stage key prefixed with a scheme name (``PsiFMore.selection=...``)
+    lands under ``policies.per_scheme`` — that is how ``compare`` pits two
+    pipelines of the same scheme family against each other in one run.
+    """
+    from .api import SCHEME_NAMES
+
+    overrides = []
+    for item in policy_args:
+        key, sep, value = str(item).partition("=")
+        if not sep:
+            raise SystemExit(f"error: --policy {item!r} is not STAGE=SPEC")
+        key = key.strip()
+        root = key.split(".", 1)[0]
+        path = f"policies.per_scheme.{key}" if root in SCHEME_NAMES else f"policies.{key}"
+        overrides.append(f"{path}={value}")
+    return overrides
+
+
+def _cmd_compare(
+    dataset: str,
+    seed: int,
+    rounds: int | None,
+    schemes_raw: str | None,
+    policy_args: list[str] | None = None,
+) -> int:
     from .analysis import summarize_schemes
     from .api import FMoreEngine, Scenario
     from .sim import preset
@@ -78,6 +113,11 @@ def _cmd_compare(dataset: str, seed: int, rounds: int | None, schemes_raw: str |
     if rounds is not None:
         cfg = cfg.with_(n_rounds=rounds)
     scenario = Scenario.from_config(cfg, schemes=schemes, seeds=(seed,))
+    if policy_args:
+        try:
+            scenario = scenario.with_overrides(_policy_overrides(policy_args))
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"error: {exc}")
     results = FMoreEngine().run(scenario).comparison()
     print(
         series_table(
@@ -112,6 +152,8 @@ def _load_scenario(args) -> "object":
             scenario = scenario.with_(n_rounds=args.rounds)
         if args.overrides:
             scenario = scenario.with_overrides(args.overrides)
+        if args.policies:
+            scenario = scenario.with_overrides(_policy_overrides(args.policies))
         if args.executor is not None or args.parallel is not None:
             execution = dict(scenario.execution)
             if args.executor is not None:
@@ -267,7 +309,18 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         dest="overrides",
         metavar="KEY=VALUE",
-        help="override a scenario field (repeatable), e.g. --set seeds=0,1,2",
+        help="override a scenario field (repeatable), e.g. --set seeds=0,1,2 "
+        "or dotted spec paths like --set scoring.scale=30",
+    )
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=[],
+        dest="policies",
+        metavar="STAGE=SPEC",
+        help="install a round policy (repeatable), e.g. "
+        '--policy \'churn={"departure_prob":0.1}\'; prefix the stage with a '
+        "scheme name (PsiFMore.selection=...) for a per-scheme override",
     )
     parser.add_argument(
         "--parallel",
@@ -291,7 +344,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_theory()
     if args.command == "compare":
         return _cmd_compare(
-            args.dataset or "mnist_o", args.seed, args.rounds, args.schemes
+            args.dataset or "mnist_o",
+            args.seed,
+            args.rounds,
+            args.schemes,
+            policy_args=args.policies,
         )
     if args.command == "cluster":
         return _cmd_cluster(args.seed)

@@ -10,21 +10,31 @@ The stable, registry-driven surface for running FMore experiments::
         print(scheme, stats["accuracy"].mean[-1])
 
 A :class:`Scenario` is a frozen, JSON-round-trippable description of an
-entire experiment; :class:`FMoreEngine` assembles components from the
-:mod:`repro.core.registry` tables, caches the equilibrium solver per
-advertised game, and collects all bids per round through the vectorised
-``EquilibriumSolver.bid_batch`` path.  The legacy builder functions in
-:mod:`repro.sim.experiment` are thin shims over this package.
+entire experiment — including its per-round policy pipeline
+(``policies`` spec: selection overrides with psi rank schedules,
+guidance alpha retuning, delivery auditing with blacklists, node churn;
+see :mod:`repro.core.policies`).  :class:`FMoreEngine` assembles
+components from the :mod:`repro.core.registry` tables, caches the
+equilibrium solver per advertised game, and collects all bids per round
+through the vectorised ``EquilibriumSolver.bid_batch`` path.  Long runs
+can be driven round by round: ``engine.session(scenario, scheme, seed)``
+returns a :class:`Session` yielding structured :class:`RoundEvent`
+values (``run`` is a consumer of sessions, bitwise-identical).  The
+legacy builder functions in :mod:`repro.sim.experiment` are thin shims
+over this package.
 """
 
 from .engine import (
     Federation,
     FMoreEngine,
+    RoundEvent,
     RunResult,
+    Session,
     build_agents,
     build_federation,
     build_selection,
     build_solver,
+    make_session,
     run_scheme,
 )
 from .executor import (
@@ -42,11 +52,14 @@ __all__ = [
     "VARIANT_NAMES",
     "FMoreEngine",
     "RunResult",
+    "RoundEvent",
+    "Session",
     "Federation",
     "build_federation",
     "build_solver",
     "build_agents",
     "build_selection",
+    "make_session",
     "run_scheme",
     "EXECUTORS",
     "Executor",

@@ -31,6 +31,7 @@ import numpy as np
 from ..core.auction import MultiDimensionalProcurementAuction
 from ..core.equilibrium import EquilibriumSolver
 from ..core.mechanism import FMoreMechanism
+from ..core.policies import PolicyAction, build_policy_pipeline
 from ..core.registry import (
     COST_MODELS,
     EXECUTORS,
@@ -50,7 +51,7 @@ from ..fl.selection import (
     SelectionStrategy,
 )
 from ..fl.server import FedAvgServer
-from ..fl.trainer import FederatedTrainer, RoundTimer, TrainingHistory
+from ..fl.trainer import FederatedTrainer, RoundRecord, RoundTimer, TrainingHistory
 from ..mec.cluster import (
     ClusterNodeSpec,
     SimulatedCluster,
@@ -66,11 +67,14 @@ from .scenario import SCHEME_NAMES, Scenario
 __all__ = [
     "Federation",
     "RunResult",
+    "RoundEvent",
+    "Session",
     "FMoreEngine",
     "build_federation",
     "build_solver",
     "build_agents",
     "build_selection",
+    "make_session",
     "run_scheme",
     "SAMPLES_PER_QUALITY_UNIT",
 ]
@@ -120,6 +124,7 @@ def _stream_names(scenario: Scenario) -> dict[str, str]:
             "model": "cluster-model",
             "fixfl": "cluster-fixfl",
             "train": "cluster-train-{scheme}",
+            "policy": "cluster-policy-{scheme}",
         }
     return {
         "data": f"data-{scenario.name}",
@@ -127,6 +132,7 @@ def _stream_names(scenario: Scenario) -> dict[str, str]:
         "model": "model-init",
         "fixfl": "fixfl",
         "train": "train-{scheme}",
+        "policy": "policy-{scheme}",
     }
 
 
@@ -323,7 +329,18 @@ def build_selection(
             payment_rule=scenario.payment_rule,
             selection=policy,
         )
-        mechanism = FMoreMechanism(auction)
+        # The scheme's round-policy pipeline, built fresh per cell (the
+        # policies are stateful: strike counters, active sets, alpha
+        # trajectories).  Policy randomness comes from its own named
+        # stream, so a policy-free pipeline leaves every historical
+        # stream untouched (bitwise-identical histories).
+        pipeline = build_policy_pipeline(scenario.policies_for(scheme))
+        policy_rng = (
+            rng_from(seed, names["policy"].format(scheme=scheme))
+            if pipeline
+            else None
+        )
+        mechanism = FMoreMechanism(auction, policies=pipeline, policy_rng=policy_rng)
         if scenario.variant == "cluster":
             quality_to_samples = _ClusterQualityToSamples(scenario.size_range[1])
         else:
@@ -349,15 +366,105 @@ def _build_global_model(scenario: Scenario, federation: Federation, seed: int):
     )
 
 
-def run_scheme(
+@dataclass
+class RoundEvent:
+    """One round of a streaming session, as a structured event.
+
+    The fields surface what observers of a long run care about — bids
+    collected, the winner set and its payments, model quality, and the
+    policy actions (bans, alpha updates, churn) filed this round — while
+    ``record`` keeps the full :class:`~repro.fl.trainer.RoundRecord` as
+    the source of truth, so replaying a stream of events reconstructs the
+    exact :class:`~repro.fl.trainer.TrainingHistory` a batch run returns.
+    """
+
+    scheme: str
+    seed: int
+    round_index: int
+    n_bids: int
+    winner_ids: list[int]
+    payments: dict[int, float]
+    total_payment: float
+    accuracy: float
+    loss: float
+    actions: list[PolicyAction]
+    record: RoundRecord
+
+
+class Session:
+    """A lazily-evaluated ``(scheme, seed)`` cell: iterate to train.
+
+    Each ``next()`` runs exactly one protocol round and yields its
+    :class:`RoundEvent`; ``history`` accumulates the rounds run so far, so
+    long runs can be observed, checkpointed (snapshot
+    ``trainer.server.model.get_weights()`` between events) and
+    early-stopped (just stop iterating — the partial ``history`` is
+    valid).  :meth:`run` drains the remaining rounds and returns the full
+    history; ``FMoreEngine.run`` consumes sessions exactly this way, so a
+    drained session is bitwise-identical to a batch run.
+    """
+
+    def __init__(
+        self, scenario: Scenario, scheme: str, seed: int, trainer: FederatedTrainer
+    ):
+        self.scenario = scenario
+        self.scheme = scheme
+        self.seed = seed
+        self.trainer = trainer
+        self.history = TrainingHistory(scheme=trainer.selection.name)
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.history.records)
+
+    @property
+    def rounds_remaining(self) -> int:
+        return self.scenario.n_rounds - self.rounds_run
+
+    def __iter__(self) -> "Session":
+        return self
+
+    def __next__(self) -> RoundEvent:
+        if self.rounds_remaining <= 0:
+            raise StopIteration
+        record = self.trainer.run_round(self.rounds_run + 1)
+        self.history.records.append(record)
+        return RoundEvent(
+            scheme=self.scheme,
+            seed=self.seed,
+            round_index=record.round_index,
+            n_bids=len(record.all_scores),
+            winner_ids=list(record.winner_ids),
+            payments=dict(record.payments),
+            total_payment=record.total_payment,
+            accuracy=record.accuracy,
+            loss=record.loss,
+            actions=list(record.policy_actions),
+            record=record,
+        )
+
+    def run(self) -> TrainingHistory:
+        """Drain the remaining rounds; returns the complete history."""
+        for _ in self:
+            pass
+        return self.history
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(scheme={self.scheme!r}, seed={self.seed}, "
+            f"rounds={self.rounds_run}/{self.scenario.n_rounds})"
+        )
+
+
+def make_session(
     scenario: Scenario,
     scheme: str,
     seed: int,
     federation: Federation | None = None,
     timer: RoundTimer | None = None,
     solver: EquilibriumSolver | None = None,
-) -> TrainingHistory:
-    """Run one scheme for ``scenario.n_rounds`` rounds; returns its history.
+) -> Session:
+    """Assemble one ``(scheme, seed)`` cell as a streaming :class:`Session`.
 
     All schemes for a given ``(scenario, seed)`` share the federation and
     the initial global weights; only training randomness differs per
@@ -394,7 +501,26 @@ def run_scheme(
         rng_from(seed, _stream_names(scenario)["train"].format(scheme=scheme)),
         timer=timer,
     )
-    return trainer.run(scenario.n_rounds)
+    return Session(scenario, scheme, seed, trainer)
+
+
+def run_scheme(
+    scenario: Scenario,
+    scheme: str,
+    seed: int,
+    federation: Federation | None = None,
+    timer: RoundTimer | None = None,
+    solver: EquilibriumSolver | None = None,
+) -> TrainingHistory:
+    """Run one scheme for ``scenario.n_rounds`` rounds; returns its history.
+
+    This is :func:`make_session` drained to completion — the batch surface
+    is a consumer of the streaming one, so both are identical by
+    construction.
+    """
+    return make_session(
+        scenario, scheme, seed, federation=federation, timer=timer, solver=solver
+    ).run()
 
 
 # ----------------------------------------------------------------------
@@ -492,6 +618,35 @@ class FMoreEngine:
         )
 
     # -- running --------------------------------------------------------
+    def session(
+        self,
+        scenario: Scenario,
+        scheme: str,
+        seed: int,
+        federation: Federation | None = None,
+    ) -> Session:
+        """A streaming :class:`Session` for one ``(scheme, seed)`` cell.
+
+        Iterating the session runs one round per ``next()`` and yields
+        structured :class:`RoundEvent` values (bids collected, winners,
+        payments, accuracy, policy actions), so long runs can be observed,
+        checkpointed and early-stopped.  Draining it (``session.run()``)
+        returns the exact :class:`~repro.fl.trainer.TrainingHistory` that
+        :meth:`run_scheme` produces — the batch path is a consumer of this
+        one.
+        """
+        solver = (
+            self.solver_for(scenario) if scheme in _AUCTION_SCHEMES else None
+        )
+        return make_session(
+            scenario,
+            scheme,
+            seed,
+            federation=federation,
+            timer=self.timer,
+            solver=solver,
+        )
+
     def run_scheme(
         self,
         scenario: Scenario,
@@ -500,17 +655,7 @@ class FMoreEngine:
         federation: Federation | None = None,
     ) -> TrainingHistory:
         """One ``(scheme, seed)`` cell, using the cached solver."""
-        solver = (
-            self.solver_for(scenario) if scheme in _AUCTION_SCHEMES else None
-        )
-        return run_scheme(
-            scenario,
-            scheme,
-            seed,
-            federation=federation,
-            timer=self.timer,
-            solver=solver,
-        )
+        return self.session(scenario, scheme, seed, federation=federation).run()
 
     def run(self, scenario: Scenario) -> RunResult:
         """Run every ``(scheme, seed)`` cell of the scenario's plan.

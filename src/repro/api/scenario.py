@@ -20,10 +20,16 @@ legacy :class:`repro.sim.config.ExperimentConfig` bridges both ways via
 
 from __future__ import annotations
 
+import copy
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
+from ..core.policies import (
+    PIPELINE_STAGES,
+    alphas_applicable,
+    build_policy_pipeline,
+)
 from ..core.registry import (
     COST_MODELS,
     MARGIN_METHODS,
@@ -52,6 +58,11 @@ _SPEC_FIELDS = {
     "cost": COST_MODELS,
     "theta": THETA_DISTRIBUTIONS,
 }
+
+# Dict-valued fields that accept dotted override paths ("scoring.scale").
+_DICT_FIELDS = ("scoring", "cost", "theta", "execution", "policies")
+
+_POLICY_SPEC_KEYS = PIPELINE_STAGES + ("per_scheme",)
 
 
 def _default_scoring() -> dict:
@@ -123,6 +134,13 @@ class Scenario:
     # How the (scheme, seed) cells execute: a registry spec naming an
     # executor from repro.api.executor plus its worker bound.
     execution: dict = field(default_factory=_default_execution)
+    # Round-policy pipeline spec: {stage: params} over the registered
+    # stages (selection/guidance/audit_blacklist/churn, see
+    # repro.core.policies), plus an optional "per_scheme" mapping of
+    # scheme-name -> stage overrides (a null stage disables the base
+    # policy for that scheme).  Policies apply to the auction-driven
+    # schemes (FMore/PsiFMore); empty means the classic protocol.
+    policies: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Validation
@@ -223,6 +241,101 @@ class Scenario:
             raise ValueError("psi must lie in (0, 1]")
         if self.grid_size < 16:
             raise ValueError("grid_size must be at least 16")
+        object.__setattr__(self, "policies", self._validated_policies())
+
+    def _validated_policies(self) -> dict:
+        """Canonicalise and validate the round-policy spec.
+
+        Structure checks are done here; parameter checks are delegated to
+        the policy constructors themselves (every stage of every effective
+        per-scheme pipeline is instantiated once and discarded), so a bad
+        ``psi0`` or ``defect_fraction`` fails at Scenario construction,
+        not rounds later inside a run.
+        """
+        if not isinstance(self.policies, Mapping):
+            raise TypeError("policies must be a spec mapping")
+        spec = {str(k): _detuple(v) for k, v in self.policies.items()}
+        unknown = sorted(set(spec) - set(_POLICY_SPEC_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown policies keys {unknown}; allowed: {list(_POLICY_SPEC_KEYS)}"
+            )
+        for stage in PIPELINE_STAGES:
+            if stage in spec and not isinstance(spec[stage], Mapping):
+                raise TypeError(
+                    f"policies[{stage!r}] must be a parameter mapping; "
+                    f"got {type(spec[stage]).__name__}"
+                )
+        per_scheme = spec.get("per_scheme", {})
+        if not isinstance(per_scheme, Mapping):
+            raise TypeError("policies['per_scheme'] must map scheme names to specs")
+        for scheme, overrides in per_scheme.items():
+            if scheme not in SCHEME_NAMES:
+                raise ValueError(
+                    f"per_scheme policies name unknown scheme {scheme!r}; "
+                    f"choose from {SCHEME_NAMES}"
+                )
+            if not isinstance(overrides, Mapping):
+                raise TypeError(
+                    f"per_scheme policies for {scheme!r} must be a mapping"
+                )
+            bad = sorted(set(map(str, overrides)) - set(PIPELINE_STAGES))
+            if bad:
+                raise ValueError(
+                    f"per_scheme policies for {scheme!r} use unknown stages "
+                    f"{bad}; choose from {list(PIPELINE_STAGES)} "
+                    "(a null stage disables the base policy)"
+                )
+        canonical = _jsonish(spec)
+        probe = Scenario._merge_policies  # staticmethod, usable pre-freeze
+        for scheme in sorted(set(self.schemes) | set(map(str, per_scheme))):
+            merged = probe(canonical, scheme)
+            build_policy_pipeline(merged)
+            if merged.get("guidance") is not None:
+                self._check_guidance_steers_scoring(merged["guidance"])
+        return canonical
+
+    def _check_guidance_steers_scoring(self, spec: Mapping[str, Any]) -> None:
+        """Fail fast when a guidance stage cannot do what it promises.
+
+        The retuned exponents must match the scoring rule's
+        dimensionality, and — unless the stage opts into record-only mode
+        with ``apply: false`` — the rule must actually interpret weights
+        (additive / cobb_douglas); a guidance experiment against the
+        default multiplicative rule would otherwise run as a silent no-op.
+        """
+        rule = SCORING_RULES.create(self.scoring)
+        target = spec.get("target_mix", ())
+        if len(target) != rule.n_dimensions:
+            raise ValueError(
+                f"guidance target_mix has {len(target)} dimensions but the "
+                f"{self.scoring.get('name')!r} scoring rule scores "
+                f"{rule.n_dimensions}"
+            )
+        if spec.get("apply", True) and not alphas_applicable(rule):
+            raise ValueError(
+                f"guidance cannot steer the {self.scoring.get('name')!r} "
+                "scoring rule (its value ignores per-dimension weights); "
+                "use a weight-interpreting scoring spec ('additive', "
+                "'cobb_douglas', 'perfect_complementary'), or set "
+                '"apply": false for a record-only guidance experiment'
+            )
+
+    @staticmethod
+    def _merge_policies(spec: Mapping[str, Any], scheme: str) -> dict:
+        base = {k: v for k, v in spec.items() if k != "per_scheme"}
+        overrides = spec.get("per_scheme", {}).get(scheme, {})
+        return {**base, **{str(k): v for k, v in overrides.items()}}
+
+    def policies_for(self, scheme: str) -> dict:
+        """The effective ``{stage: params}`` pipeline spec for one scheme.
+
+        Per-scheme overrides win over the base stages; a ``null`` override
+        disables the base stage for that scheme.  The result feeds
+        :func:`repro.core.policies.build_policy_pipeline` (a copy — safe
+        to mutate).
+        """
+        return copy.deepcopy(self._merge_policies(self.policies, scheme))
 
     # ------------------------------------------------------------------
     # Functional updates
@@ -233,7 +346,15 @@ class Scenario:
 
     def with_overrides(self, pairs: Mapping[str, str] | list[str]) -> "Scenario":
         """Apply CLI-style ``key=value`` overrides (values parsed as JSON
-        first, then as comma-separated lists, then as bare strings)."""
+        first, then as comma-separated lists, then as bare strings).
+
+        Dotted keys reach inside the dict-valued spec fields —
+        ``scoring.scale=30``, ``execution.max_workers=4``,
+        ``policies.selection.psi0=0.9`` — creating intermediate mappings
+        as needed.  Unknown keys (top-level or dotted roots) fail fast
+        with the list of valid override paths rather than leaking an
+        opaque constructor error.
+        """
         if not isinstance(pairs, Mapping):
             parsed: dict[str, str] = {}
             for item in pairs:
@@ -245,11 +366,36 @@ class Scenario:
         known = {f.name for f in fields(self)}
         changes: dict[str, Any] = {}
         for key, raw in pairs.items():
-            if key not in known:
+            root, dot, rest = key.partition(".")
+            if root not in known:
                 raise ValueError(
-                    f"unknown scenario field {key!r}; choose from {sorted(known)}"
+                    f"unknown scenario override {key!r}; valid paths are the "
+                    f"scenario fields {sorted(known)} and dotted spec keys "
+                    f"inside {list(_DICT_FIELDS)} (e.g. 'scoring.scale', "
+                    "'execution.max_workers', 'policies.selection.psi0')"
                 )
-            changes[key] = _parse_override(raw)
+            if not dot:
+                changes[key] = _parse_override(raw)
+                continue
+            if root not in _DICT_FIELDS:
+                raise ValueError(
+                    f"scenario field {root!r} does not support dotted "
+                    f"overrides like {key!r}; only the spec mappings "
+                    f"{list(_DICT_FIELDS)} do"
+                )
+            target = changes.get(root)
+            if not isinstance(target, dict):
+                target = copy.deepcopy(dict(getattr(self, root)))
+                changes[root] = target
+            node = target
+            parts = rest.split(".")
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {}
+                    node[part] = child
+                node = child
+            node[parts[-1]] = _parse_override(raw)
         return self.with_(**changes)
 
     # ------------------------------------------------------------------
@@ -263,12 +409,10 @@ class Scenario:
             if isinstance(value, tuple):
                 value = list(value)
             elif isinstance(value, dict):
-                # Spec values are already list-canonical (__post_init__);
-                # copy so callers cannot mutate the frozen scenario.
-                value = {
-                    k: list(v) if isinstance(v, list) else v
-                    for k, v in value.items()
-                }
+                # Spec values are already JSON-canonical (__post_init__);
+                # deep-copy so callers cannot mutate the frozen scenario
+                # through nested specs (policies nests per-scheme dicts).
+                value = copy.deepcopy(value)
             out[f.name] = value
         return out
 
@@ -485,6 +629,15 @@ def _detuple(value: Any) -> Any:
         return [_detuple(v) for v in value]
     if isinstance(value, list):
         return [_detuple(v) for v in value]
+    return value
+
+
+def _jsonish(value: Any) -> Any:
+    """Deep JSON-canonical copy: tuples -> lists, mapping keys -> str."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonish(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonish(v) for v in value]
     return value
 
 

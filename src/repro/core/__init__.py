@@ -16,7 +16,13 @@ Public surface of the auction-theory layer.  Typical usage::
 
 from .auction import AuctionOutcome, MultiDimensionalProcurementAuction, PAYMENT_RULES
 from .bids import AuctionWinner, Bid, ScoredBid
-from .blacklist import Blacklist, DeliveryReport, Violation, audit_round
+from .blacklist import (
+    Blacklist,
+    DeliveryReport,
+    Violation,
+    audit_round,
+    simulate_deliveries,
+)
 from .budget import BudgetedAuction
 from .costs import (
     CostModel,
@@ -35,11 +41,24 @@ from .equilibrium import (
 from .guidance import (
     GuidanceResult,
     alphas_for_target_mix,
+    observed_procurement_mix,
     optimal_quality_mix,
     quality_ratio,
+    retuned_alphas,
     solve_mix_numerically,
 )
 from .mechanism import FMoreMechanism, MechanismRound, RoundAccounting
+from .policies import (
+    AuditBlacklistPolicy,
+    ChurnPolicy,
+    GuidancePolicy,
+    PIPELINE_STAGES,
+    PolicyAction,
+    RoundContext,
+    RoundPolicy,
+    SelectionPolicy,
+    build_policy_pipeline,
+)
 from .odesolvers import MARGIN_BACKENDS, euler_margin, quadrature_margin, rk4_margin
 from .properties import (
     ICViolation,
@@ -54,6 +73,7 @@ from .properties import (
 from .registry import (
     COST_MODELS,
     MARGIN_METHODS,
+    ROUND_POLICIES,
     SCORING_RULES,
     THETA_DISTRIBUTIONS,
     WINNER_SELECTIONS,
@@ -62,6 +82,7 @@ from .registry import (
 from .psi import (
     PerNodePsiSelection,
     PsiSelection,
+    RankPsiSchedule,
     TopKSelection,
     WinnerSelection,
     negative_binomial_fill_probability,
@@ -92,6 +113,7 @@ __all__ = [
     "THETA_DISTRIBUTIONS",
     "WINNER_SELECTIONS",
     "MARGIN_METHODS",
+    "ROUND_POLICIES",
     # scoring
     "ScoringRule",
     "AdditiveScore",
@@ -134,6 +156,7 @@ __all__ = [
     "TopKSelection",
     "PsiSelection",
     "PerNodePsiSelection",
+    "RankPsiSchedule",
     "paper_fill_probability",
     "negative_binomial_fill_probability",
     # enforcement and budget extensions
@@ -141,6 +164,7 @@ __all__ = [
     "DeliveryReport",
     "Violation",
     "audit_round",
+    "simulate_deliveries",
     "BudgetedAuction",
     # guidance
     "GuidanceResult",
@@ -148,6 +172,8 @@ __all__ = [
     "quality_ratio",
     "alphas_for_target_mix",
     "solve_mix_numerically",
+    "observed_procurement_mix",
+    "retuned_alphas",
     # properties
     "is_individually_rational",
     "profit_of_payment_deviation",
@@ -161,4 +187,14 @@ __all__ = [
     "FMoreMechanism",
     "MechanismRound",
     "RoundAccounting",
+    # round-policy pipeline
+    "RoundPolicy",
+    "RoundContext",
+    "PolicyAction",
+    "SelectionPolicy",
+    "GuidancePolicy",
+    "AuditBlacklistPolicy",
+    "ChurnPolicy",
+    "PIPELINE_STAGES",
+    "build_policy_pipeline",
 ]

@@ -145,12 +145,19 @@ class MultiDimensionalProcurementAuction:
         """Evaluate ``S(q_i, p_i)`` for one bid."""
         return float(self.scoring.score(bid.quality, bid.payment))
 
-    def run(self, bids: list[Bid], rng: np.random.Generator) -> AuctionOutcome:
+    def run(
+        self,
+        bids: list[Bid],
+        rng: np.random.Generator,
+        selection: WinnerSelection | None = None,
+    ) -> AuctionOutcome:
         """Run winner determination over the collected ``bids``.
 
         Bids are scored, sorted in descending order with ties resolved "by
         the flip of a coin" (a uniform random tie-break key), the selection
-        policy picks winners, and the payment rule fixes transfers.
+        policy picks winners, and the payment rule fixes transfers.  A
+        per-round ``selection`` override (from the round-policy pipeline)
+        replaces the auction's configured policy for this call only.
         """
         if not bids:
             return AuctionOutcome([], [], self.k_requested_for(0), self.payment_rule)
@@ -171,7 +178,8 @@ class MultiDimensionalProcurementAuction:
         )
         scored = [ScoredBid(bids[i], float(scores[i])) for i in order]
 
-        positions = self.selection.select(len(scored), self.k_winners, rng)
+        policy = selection if selection is not None else self.selection
+        positions = policy.select(len(scored), self.k_winners, rng)
         winners = self._charge(scored, positions)
         return AuctionOutcome(winners, scored, self.k_winners, self.payment_rule)
 

@@ -24,7 +24,13 @@ import numpy as np
 
 from .auction import AuctionOutcome
 
-__all__ = ["DeliveryReport", "Violation", "Blacklist", "audit_round"]
+__all__ = [
+    "DeliveryReport",
+    "Violation",
+    "Blacklist",
+    "audit_round",
+    "simulate_deliveries",
+]
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,33 @@ class Blacklist:
         """Lift a ban and clear strikes (operator override)."""
         self._banned.discard(node_id)
         self._strikes.pop(node_id, None)
+
+
+def simulate_deliveries(
+    outcome: AuctionOutcome,
+    defectors: frozenset[int] | set[int],
+    shortfall: float,
+) -> dict[int, DeliveryReport]:
+    """Synthetic delivery reports: ``defectors`` under-deliver by ``shortfall``.
+
+    The simulation has no physical resources to measure, so robustness
+    scenarios model defection explicitly: a defecting winner delivers
+    ``(1 - shortfall)`` of every declared dimension, everyone else delivers
+    in full.  The result feeds :func:`audit_round` unchanged — the audit
+    logic cannot tell synthetic reports from measured ones.
+    """
+    if not (0.0 < shortfall <= 1.0):
+        raise ValueError(f"shortfall must lie in (0, 1]; got {shortfall!r}")
+    reports: dict[int, DeliveryReport] = {}
+    for winner in outcome.winners:
+        declared = np.asarray(winner.quality, dtype=float)
+        delivered = (
+            declared * (1.0 - shortfall)
+            if winner.node_id in defectors
+            else declared
+        )
+        reports[winner.node_id] = DeliveryReport(winner.node_id, delivered)
+    return reports
 
 
 def audit_round(

@@ -29,6 +29,8 @@ __all__ = [
     "quality_ratio",
     "alphas_for_target_mix",
     "solve_mix_numerically",
+    "observed_procurement_mix",
+    "retuned_alphas",
 ]
 
 
@@ -107,6 +109,47 @@ def alphas_for_target_mix(
     if np.any(target <= 0):
         raise ValueError("target quality must be strictly positive")
     return normalize_weights(target * beta)
+
+
+def observed_procurement_mix(winner_qualities: Sequence[np.ndarray]) -> np.ndarray:
+    """The mean quality vector actually procured over a window of rounds.
+
+    This is the feedback signal of a guidance experiment: the aggregator
+    compares what it *got* against the mix it *wants* before retuning the
+    exponents alpha (see :func:`retuned_alphas`).
+    """
+    rows = [np.asarray(q, dtype=float) for q in winner_qualities]
+    if not rows:
+        raise ValueError("need at least one winner quality vector")
+    return np.mean(np.stack(rows), axis=0)
+
+
+def retuned_alphas(
+    alphas: Sequence[float],
+    target_mix: Sequence[float],
+    observed_mix: Sequence[float],
+    gain: float = 0.5,
+) -> np.ndarray:
+    """One multiplicative-controller step of alpha retuning.
+
+    Proposition 4's inverse map (:func:`alphas_for_target_mix`) is exact
+    only when bidders sit at the Cobb-Douglas optimum; live populations
+    (capacity caps, IR abstentions, psi randomness) procure a different
+    mix.  This closed-loop step nudges the exponents by the per-dimension
+    ratio of normalised target to observed mix raised to ``gain``:
+    dimensions under-procured relative to target get heavier exponents.
+    ``gain=0`` is a no-op; ``gain=1`` applies the full correction.
+    """
+    if not (0.0 <= gain <= 1.0):
+        raise ValueError(f"gain must lie in [0, 1]; got {gain!r}")
+    alpha = normalize_weights(alphas)
+    target = normalize_weights(target_mix)
+    observed = np.maximum(
+        normalize_weights(np.maximum(np.asarray(observed_mix, dtype=float), 0.0)),
+        1e-9,
+    )
+    correction = (target / observed) ** float(gain)
+    return normalize_weights(np.maximum(alpha * correction, 1e-9))
 
 
 def solve_mix_numerically(

@@ -20,6 +20,7 @@ import numpy as np
 
 from .auction import AuctionOutcome, MultiDimensionalProcurementAuction
 from .bids import Bid
+from .policies import PolicyAction, RoundContext, RoundPolicy
 
 __all__ = ["BiddingAgent", "RoundAccounting", "MechanismRound", "FMoreMechanism"]
 
@@ -99,6 +100,7 @@ class MechanismRound:
     outcome: AuctionOutcome
     accounting: RoundAccounting
     abstained: list[int] = field(default_factory=list)
+    actions: list[PolicyAction] = field(default_factory=list)
 
 
 class FMoreMechanism:
@@ -106,10 +108,35 @@ class FMoreMechanism:
 
     The learning steps (4-6) belong to :mod:`repro.fl`; the federated
     trainer calls :meth:`run_round` to obtain the winner set, then trains.
+
+    Parameters
+    ----------
+    auction:
+        The winner-determination machinery (scoring, selection, payment).
+    policies:
+        An ordered :class:`~repro.core.policies.RoundPolicy` pipeline whose
+        stage hooks wrap every round: ``on_round_start`` before the bid
+        ask, ``filter_agents`` on the asked population, ``select_winners``
+        as a per-round selection override, ``after_aggregate`` once the
+        outcome is known.  Empty (the default) reproduces the historical
+        protocol exactly — no hooks run, no policy randomness is consumed.
+    policy_rng:
+        The dedicated policy randomness stream (kept apart from the
+        training stream so policy draws never perturb bids or tie-breaks).
+        Defaults to a fixed-seed generator when policies are present.
     """
 
-    def __init__(self, auction: MultiDimensionalProcurementAuction):
+    def __init__(
+        self,
+        auction: MultiDimensionalProcurementAuction,
+        policies: Sequence[RoundPolicy] = (),
+        policy_rng: np.random.Generator | None = None,
+    ):
         self.auction = auction
+        self.policies = list(policies)
+        if policy_rng is None and self.policies:
+            policy_rng = np.random.default_rng(0)
+        self.policy_rng = policy_rng
         self.history: list[MechanismRound] = []
 
     def run_round(
@@ -118,14 +145,41 @@ class FMoreMechanism:
         round_index: int,
         rng: np.random.Generator,
     ) -> MechanismRound:
-        """Broadcast the bid ask, collect sealed bids, determine winners."""
+        """Broadcast the bid ask, collect sealed bids, determine winners.
+
+        With policies installed the round runs as a pipeline: policies
+        first see the round start, then filter the asked population, may
+        override the winner-selection rule, and finally observe the
+        outcome (auditing, guidance).  Without policies the body reduces
+        to the classic three auction steps.
+        """
+        ctx: RoundContext | None = None
+        selection = None
+        asked: Sequence[BiddingAgent] = agents
+        if self.policies:
+            ctx = RoundContext(
+                round_index=round_index,
+                rng=self.policy_rng,
+                mechanism=self,
+                agents=list(agents),
+            )
+            for policy in self.policies:
+                policy.on_round_start(ctx)
+            for policy in self.policies:
+                asked = policy.filter_agents(asked, ctx)
+            asked = list(asked)
+            for policy in self.policies:
+                override = policy.select_winners(ctx)
+                if override is not None:
+                    selection = override
+
         accounting = RoundAccounting()
-        accounting.n_asked = len(agents)
-        accounting.downlink_bytes = BID_ASK_BYTES_PER_NODE * len(agents)
+        accounting.n_asked = len(asked)
+        accounting.downlink_bytes = BID_ASK_BYTES_PER_NODE * len(asked)
 
         bids: list[Bid] = []
         abstained: list[int] = []
-        for bid, node_id in self._collect_bids(agents, round_index, rng):
+        for bid, node_id in self._collect_bids(asked, round_index, rng):
             if bid is None:
                 abstained.append(node_id)
                 continue
@@ -133,13 +187,28 @@ class FMoreMechanism:
             accounting.uplink_bytes += FLOAT_BYTES * (bid.n_dimensions + 1)
         accounting.n_bids = len(bids)
 
-        outcome = self.auction.run(bids, rng)
+        # Pass the override only when one exists: duck-typed auctions
+        # (e.g. BudgetedAuction) that predate the pipeline keep working
+        # as long as no selection policy targets them.
+        if selection is not None:
+            outcome = self.auction.run(bids, rng, selection=selection)
+        else:
+            outcome = self.auction.run(bids, rng)
         n = max(len(bids), 1)
         # Comparison count of an O(n log n) sort — the aggregator's only
         # auction-side computation besides N score evaluations.
         accounting.comparisons = int(np.ceil(n * np.log2(n))) if n > 1 else 0
 
-        record = MechanismRound(round_index, outcome, accounting, abstained)
+        record = MechanismRound(
+            round_index,
+            outcome,
+            accounting,
+            abstained,
+            actions=ctx.actions if ctx is not None else [],
+        )
+        if ctx is not None:
+            for policy in self.policies:
+                policy.after_aggregate(ctx, record)
         self.history.append(record)
         return record
 

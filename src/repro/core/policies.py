@@ -1,0 +1,443 @@
+"""The round-policy pipeline: per-round protocol behaviors as components.
+
+FMore's protocol is defined round-by-round, and everything the aggregator
+*does* in a round beyond the baseline six steps — relaxing top-K selection
+(psi-FMore, Section III-C), steering the procured resource mix via the
+scoring exponents (Proposition 4), auditing deliveries and blacklisting
+defectors (Sections II-A/III-A), coping with nodes joining and leaving —
+is a *policy*.  This module turns each of those behaviors into a
+registry-registered :class:`RoundPolicy` with four stage hooks that
+:meth:`repro.core.mechanism.FMoreMechanism.run_round` drives in order:
+
+``on_round_start``
+    Before the bid ask; bind to the mechanism, advance internal state.
+``filter_agents``
+    Who receives the bid ask (blacklist enforcement, churn).
+``select_winners``
+    Override the winner-selection rule for this round (rank schedules).
+``after_aggregate``
+    After winner determination; audit deliveries, retune guidance.
+
+Policies are stateful per run (strike counters, active sets, alpha
+trajectories) and record every externally-visible decision as a
+:class:`PolicyAction`, which rides on the round record and surfaces in the
+streaming session events of :mod:`repro.api.engine`.  Randomness comes
+from a dedicated policy stream (``RoundContext.rng``) so the default
+pipeline — no policies — consumes nothing and stays bitwise-identical to
+the historical protocol.
+
+Declaratively, a :class:`repro.api.Scenario` addresses the pipeline
+through its ``policies`` spec::
+
+    {
+      "selection": {"name": "per_node_psi", "schedule": "geometric",
+                    "psi0": 0.9, "decay": 0.95},
+      "guidance": {"target_mix": [2.0, 1.0], "every": 5},
+      "audit_blacklist": {"defect_fraction": 0.2, "shortfall": 0.5},
+      "churn": {"departure_prob": 0.1, "arrival_prob": 0.5}
+    }
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from .blacklist import Blacklist, audit_round, simulate_deliveries
+from .guidance import alphas_for_target_mix, observed_procurement_mix, retuned_alphas
+from .registry import ROUND_POLICIES, WINNER_SELECTIONS
+from .scoring import (
+    AdditiveScore,
+    CobbDouglasScore,
+    PerfectComplementaryScore,
+    normalize_weights,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .mechanism import FMoreMechanism, MechanismRound
+    from .psi import WinnerSelection
+
+__all__ = [
+    "PolicyAction",
+    "RoundContext",
+    "RoundPolicy",
+    "SelectionPolicy",
+    "GuidancePolicy",
+    "AuditBlacklistPolicy",
+    "ChurnPolicy",
+    "PIPELINE_STAGES",
+    "alphas_applicable",
+    "build_policy_pipeline",
+]
+
+#: Stage order of the pipeline: membership first (churn, enforcement),
+#: then aggregator steering (guidance), then the selection override.
+PIPELINE_STAGES = ("churn", "audit_blacklist", "guidance", "selection")
+
+
+@dataclass(frozen=True)
+class PolicyAction:
+    """One externally-visible policy decision (ban, alpha update, ...).
+
+    ``payload`` is plain JSON-ish data (lists/dicts/numbers) so actions
+    serialise with the round events they ride on.
+    """
+
+    kind: str
+    round_index: int
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class RoundContext:
+    """What a policy may see and touch during one round.
+
+    ``rng`` is the *policy* stream — separate from the training stream, so
+    policies that draw (churn, defector sampling) never perturb bids,
+    tie-breaks or local training, and scenarios without policies consume
+    nothing from it.  ``agents`` is the full (unfiltered) population of
+    the round — policies that sample *membership-independent* subsets
+    (defector draws) use it so their choice cannot depend on what earlier
+    pipeline stages filtered.
+    """
+
+    round_index: int
+    rng: np.random.Generator
+    mechanism: "FMoreMechanism"
+    agents: Sequence = ()
+    actions: list[PolicyAction] = field(default_factory=list)
+
+    def record(self, kind: str, **payload: Any) -> PolicyAction:
+        """File an action for this round (returned for convenience)."""
+        action = PolicyAction(kind=kind, round_index=self.round_index, payload=payload)
+        self.actions.append(action)
+        return action
+
+
+class RoundPolicy:
+    """Base policy: every stage hook is a no-op.
+
+    Subclasses override only the stages they participate in; the pipeline
+    calls all four hooks on every policy each round, in
+    :data:`PIPELINE_STAGES` order.
+    """
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        """Called before the bid ask is broadcast."""
+
+    def filter_agents(self, agents: Sequence, ctx: RoundContext) -> Sequence:
+        """Return the agents that receive this round's bid ask."""
+        return agents
+
+    def select_winners(self, ctx: RoundContext) -> "WinnerSelection | None":
+        """A :class:`WinnerSelection` overriding the auction's, or ``None``."""
+        return None
+
+    def after_aggregate(self, ctx: RoundContext, record: "MechanismRound") -> None:
+        """Called once the round's outcome is determined."""
+
+
+@ROUND_POLICIES.register("selection")
+class SelectionPolicy(RoundPolicy):
+    """Scenario-addressable winner-selection override.
+
+    The spec *is* a :data:`~repro.core.registry.WINNER_SELECTIONS` spec:
+    ``{"name": "top_k"}``, ``{"name": "psi", "psi": 0.8}`` or the
+    rank-scheduled ``{"name": "per_node_psi", "schedule": "geometric",
+    "psi0": 0.9, "decay": 0.95}``.  It replaces the scheme's default rule
+    every round.
+    """
+
+    def __init__(self, name: str = "top_k", **params: Any):
+        self.spec = {"name": str(name), **params}
+        self.rule = WINNER_SELECTIONS.create(self.spec)
+
+    def select_winners(self, ctx: RoundContext) -> "WinnerSelection":
+        return self.rule
+
+
+def alphas_applicable(rule) -> bool:
+    """Whether guidance can actually steer ``rule``.
+
+    Only rules whose value function reads ``weights`` are retunable
+    (:class:`AdditiveScore`, :class:`CobbDouglasScore`,
+    :class:`PerfectComplementaryScore`);
+    :class:`~repro.core.scoring.MultiplicativeScore` carries a ``weights``
+    array it ignores, so applying guidance to it would be a silent no-op —
+    :class:`repro.api.Scenario` rejects that combination at validation.
+    """
+    return isinstance(
+        rule, (AdditiveScore, CobbDouglasScore, PerfectComplementaryScore)
+    )
+
+
+def _apply_alphas(rule, alphas: np.ndarray) -> bool:
+    """Install new exponents/weights on a weight-interpreting rule."""
+    if alphas_applicable(rule) and rule.weights.shape == (len(alphas),):
+        rule.weights = np.asarray(alphas, dtype=float)
+        return True
+    return False
+
+
+@ROUND_POLICIES.register("guidance")
+class GuidancePolicy(RoundPolicy):
+    """Alpha retuning toward a target quality mix (Proposition 4, closed loop).
+
+    Every ``every`` rounds the policy compares the mean quality vector it
+    actually procured against ``target_mix`` and retunes the scoring
+    exponents with a multiplicative controller step
+    (:func:`~repro.core.guidance.retuned_alphas`); the initial exponents
+    come from the proposition's exact inverse map given the ``betas``
+    cost-coefficient estimates (uniform when not supplied).  Each update is
+    recorded as an ``alpha_update`` action; when the aggregator's rule
+    interprets weights (additive / Cobb-Douglas) the new exponents are
+    installed on a *private copy* of the scoring rule, so the shared
+    equilibrium solver of other runs is never perturbed.
+    """
+
+    def __init__(
+        self,
+        target_mix: Sequence[float],
+        every: int = 5,
+        betas: Sequence[float] | None = None,
+        gain: float = 0.5,
+        apply: bool = True,
+    ):
+        self.target_mix = np.asarray([float(v) for v in target_mix], dtype=float)
+        if self.target_mix.ndim != 1 or self.target_mix.size == 0:
+            raise ValueError("target_mix must be a non-empty 1-D sequence")
+        if np.any(self.target_mix <= 0):
+            raise ValueError("target_mix entries must be strictly positive")
+        self.every = int(every)
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1; got {every!r}")
+        if betas is None:
+            self.betas = np.full(self.target_mix.size, 1.0 / self.target_mix.size)
+        else:
+            self.betas = normalize_weights([float(b) for b in betas])
+            if self.betas.size != self.target_mix.size:
+                raise ValueError("betas must match target_mix dimensionality")
+        if not (0.0 <= float(gain) <= 1.0):
+            raise ValueError(f"gain must lie in [0, 1]; got {gain!r}")
+        self.gain = float(gain)
+        self.apply = bool(apply)
+        self.alphas = alphas_for_target_mix(self.target_mix, self.betas)
+        self._window: list[np.ndarray] = []
+        self._bound = False
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        if not self._bound:
+            auction = ctx.mechanism.auction
+            rule = auction.scoring.quality_rule
+            if rule.n_dimensions != self.target_mix.size:
+                raise ValueError(
+                    f"guidance target_mix has {self.target_mix.size} dimensions "
+                    f"but the scoring rule scores {rule.n_dimensions}"
+                )
+            # Privatise the aggregator's scoring before any retune: the
+            # quality rule inside is shared with the cached equilibrium
+            # solver, and guidance must never mutate common knowledge.
+            auction.scoring = copy.deepcopy(auction.scoring)
+            if self.apply:
+                _apply_alphas(auction.scoring.quality_rule, self.alphas)
+            self._bound = True
+
+    def after_aggregate(self, ctx: RoundContext, record: "MechanismRound") -> None:
+        self._window.extend(
+            np.asarray(w.quality, dtype=float) for w in record.outcome.winners
+        )
+        if ctx.round_index % self.every != 0 or not self._window:
+            return
+        observed = observed_procurement_mix(self._window)
+        self.alphas = retuned_alphas(
+            self.alphas, self.target_mix, observed, gain=self.gain
+        )
+        applied = self.apply and _apply_alphas(
+            ctx.mechanism.auction.scoring.quality_rule, self.alphas
+        )
+        ctx.record(
+            "alpha_update",
+            alphas=[float(a) for a in self.alphas],
+            observed_mix=[float(v) for v in observed],
+            target_mix=[float(v) for v in self.target_mix],
+            applied=bool(applied),
+        )
+        self._window = []
+
+
+@ROUND_POLICIES.register("audit_blacklist")
+class AuditBlacklistPolicy(RoundPolicy):
+    """Delivery auditing with strike-based bans (the paper's enforcement).
+
+    Winners' declared qualities are audited against delivery reports each
+    round; the simulation models defection explicitly — either a fixed
+    ``defectors`` id list or a seeded ``defect_fraction`` of the population
+    under-delivers every contract by ``shortfall``.  Violations accumulate
+    strikes in a :class:`~repro.core.blacklist.Blacklist`; banned nodes
+    stop receiving bid asks.  ``violation`` and ``ban`` actions record the
+    robustness story round by round.
+    """
+
+    def __init__(
+        self,
+        strikes_to_ban: int = 2,
+        tolerance: float = 0.05,
+        shortfall: float = 0.5,
+        defectors: Sequence[int] | None = None,
+        defect_fraction: float | None = None,
+    ):
+        self.blacklist = Blacklist(
+            strikes_to_ban=int(strikes_to_ban), tolerance=float(tolerance)
+        )
+        if not (0.0 < float(shortfall) <= 1.0):
+            raise ValueError(f"shortfall must lie in (0, 1]; got {shortfall!r}")
+        self.shortfall = float(shortfall)
+        if defectors is not None and defect_fraction is not None:
+            raise ValueError("give either defectors or defect_fraction, not both")
+        if defect_fraction is not None and not (0.0 <= float(defect_fraction) <= 1.0):
+            raise ValueError(
+                f"defect_fraction must lie in [0, 1]; got {defect_fraction!r}"
+            )
+        self.defect_fraction = None if defect_fraction is None else float(defect_fraction)
+        self._defectors: frozenset[int] | None = (
+            None if defectors is None else frozenset(int(d) for d in defectors)
+        )
+        if self._defectors is None and self.defect_fraction is None:
+            self._defectors = frozenset()
+
+    @property
+    def defectors(self) -> frozenset[int] | None:
+        """The defecting node ids (``None`` until the seeded draw happens)."""
+        return self._defectors
+
+    def filter_agents(self, agents: Sequence, ctx: RoundContext) -> list:
+        if self._defectors is None:
+            # Draw from the full population (ctx.agents), not from
+            # whatever earlier stages (churn) left in `agents`: the
+            # defecting subset is a property of the nodes, not of who
+            # happened to be present in round 1.
+            population = ctx.agents if len(ctx.agents) else agents
+            ids = sorted(int(a.node_id) for a in population)
+            k = int(round(self.defect_fraction * len(ids)))
+            drawn = ctx.rng.choice(ids, size=k, replace=False) if k else []
+            self._defectors = frozenset(int(i) for i in drawn)
+            if self._defectors:
+                ctx.record("defectors_drawn", node_ids=sorted(self._defectors))
+        return self.blacklist.filter_agents(agents)
+
+    def after_aggregate(self, ctx: RoundContext, record: "MechanismRound") -> None:
+        reports = simulate_deliveries(record.outcome, self._defectors, self.shortfall)
+        banned_before = self.blacklist.banned
+        violations = audit_round(
+            record.outcome, reports, self.blacklist, ctx.round_index
+        )
+        for v in violations:
+            ctx.record(
+                "violation",
+                node_id=int(v.node_id),
+                shortfall=float(v.shortfall),
+                strikes=self.blacklist.strikes(v.node_id),
+            )
+        for node_id in sorted(self.blacklist.banned - banned_before):
+            ctx.record("ban", node_id=int(node_id))
+
+
+@ROUND_POLICIES.register("churn")
+class ChurnPolicy(RoundPolicy):
+    """Seeded node arrival/departure between rounds.
+
+    Each round every present node departs with probability
+    ``departure_prob`` and every absent node returns with probability
+    ``arrival_prob`` (draws from the policy stream, in sorted node-id
+    order, so the trajectory is a pure function of the policy seed).  The
+    active set never drops below ``min_active``.  ``depart``/``arrive``
+    actions record the membership trajectory.
+    """
+
+    def __init__(
+        self,
+        departure_prob: float = 0.1,
+        arrival_prob: float = 0.5,
+        min_active: int = 1,
+    ):
+        for name, p in (("departure_prob", departure_prob), ("arrival_prob", arrival_prob)):
+            if not (0.0 <= float(p) <= 1.0):
+                raise ValueError(f"{name} must lie in [0, 1]; got {p!r}")
+        self.departure_prob = float(departure_prob)
+        self.arrival_prob = float(arrival_prob)
+        self.min_active = int(min_active)
+        if self.min_active < 1:
+            raise ValueError(f"min_active must be >= 1; got {min_active!r}")
+        self._population: list[int] | None = None
+        self._active: set[int] | None = None
+
+    def filter_agents(self, agents: Sequence, ctx: RoundContext) -> list:
+        if self._population is None:
+            self._population = sorted(int(a.node_id) for a in agents)
+            self._active = set(self._population)
+        departures: list[int] = []
+        arrivals: list[int] = []
+        # One draw per population member per round, in sorted-id order:
+        # the membership trajectory depends only on the policy stream.
+        for node_id in self._population:
+            u = ctx.rng.random()
+            if node_id in self._active:
+                if u < self.departure_prob:
+                    departures.append(node_id)
+            elif u < self.arrival_prob:
+                arrivals.append(node_id)
+        for node_id in arrivals:
+            self._active.add(node_id)
+        departed: list[int] = []
+        for node_id in departures:
+            if len(self._active) > self.min_active:
+                self._active.remove(node_id)
+                departed.append(node_id)
+        # Record only *effective* membership changes — departure draws
+        # blocked by the min_active floor are not churn.
+        if departed or arrivals:
+            ctx.record(
+                "churn",
+                departed=departed,
+                arrived=arrivals,
+                n_active=len(self._active),
+            )
+        return [a for a in agents if int(a.node_id) in self._active]
+
+    @property
+    def active_ids(self) -> frozenset[int]:
+        """Currently-present node ids (empty before the first round)."""
+        return frozenset(self._active or ())
+
+
+def build_policy_pipeline(specs: Mapping[str, Any]) -> list[RoundPolicy]:
+    """Instantiate a pipeline from a ``{stage: params}`` mapping.
+
+    Keys are the registered stage names (:data:`PIPELINE_STAGES`); values
+    are the stage's constructor parameters (for ``selection``, a
+    WINNER_SELECTIONS spec).  ``None`` values mean "stage disabled" — that
+    is how per-scheme Scenario overrides remove a base policy.  The
+    returned list is ordered by :data:`PIPELINE_STAGES` regardless of
+    mapping order, so pipelines are deterministic.
+    """
+    unknown = sorted(set(specs) - set(PIPELINE_STAGES))
+    if unknown:
+        raise ValueError(
+            f"unknown round-policy stages {unknown}; "
+            f"choose from {list(PIPELINE_STAGES)}"
+        )
+    pipeline: list[RoundPolicy] = []
+    for stage in PIPELINE_STAGES:
+        spec = specs.get(stage)
+        if spec is None:
+            continue
+        if not isinstance(spec, Mapping):
+            raise TypeError(
+                f"round-policy stage {stage!r} needs a parameter mapping "
+                f"(or null to disable it); got {type(spec).__name__}"
+            )
+        pipeline.append(ROUND_POLICIES.create(stage, **dict(spec)))
+    return pipeline

@@ -18,6 +18,7 @@ index appears to be off by one, and tests compare both against Monte Carlo.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.special import comb
@@ -29,6 +30,8 @@ __all__ = [
     "TopKSelection",
     "PsiSelection",
     "PerNodePsiSelection",
+    "RankPsiSchedule",
+    "RANK_SCHEDULE_NAMES",
     "paper_fill_probability",
     "negative_binomial_fill_probability",
 ]
@@ -85,6 +88,56 @@ class PsiSelection(WinnerSelection):
         return f"PsiSelection(psi={self.psi})"
 
 
+#: Declarative rank-schedule families accepted by :class:`RankPsiSchedule`.
+RANK_SCHEDULE_NAMES = ("constant", "geometric", "linear")
+
+
+@dataclass(frozen=True)
+class RankPsiSchedule:
+    """A declarative ``rank -> psi`` map (JSON-expressible, picklable).
+
+    Families (``rank`` is the 0-based position in the score-sorted list):
+
+    * ``constant``  — ``psi0`` for every rank,
+    * ``geometric`` — ``psi0 * decay**rank`` (the paper-style "favour the
+      top" schedule),
+    * ``linear``    — ``psi0 - slope * rank``.
+
+    Values are floored at ``floor`` so every candidate keeps a diversity
+    floor; :class:`PerNodePsiSelection` additionally clips to 1.
+    """
+
+    schedule: str = "geometric"
+    psi0: float = 0.9
+    decay: float = 0.95
+    slope: float = 0.02
+    floor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.schedule not in RANK_SCHEDULE_NAMES:
+            raise ValueError(
+                f"unknown rank schedule {self.schedule!r}; "
+                f"choose from {RANK_SCHEDULE_NAMES}"
+            )
+        if not (0.0 < self.psi0 <= 1.0):
+            raise ValueError(f"psi0 must lie in (0, 1]; got {self.psi0!r}")
+        if not (0.0 < self.decay <= 1.0):
+            raise ValueError(f"decay must lie in (0, 1]; got {self.decay!r}")
+        if self.slope < 0.0:
+            raise ValueError(f"slope must be >= 0; got {self.slope!r}")
+        if not (0.0 < self.floor <= 1.0):
+            raise ValueError(f"floor must lie in (0, 1]; got {self.floor!r}")
+
+    def __call__(self, rank: int) -> float:
+        if self.schedule == "constant":
+            value = self.psi0
+        elif self.schedule == "geometric":
+            value = self.psi0 * self.decay ** rank
+        else:  # linear
+            value = self.psi0 - self.slope * rank
+        return max(float(value), self.floor)
+
+
 @WINNER_SELECTIONS.register("per_node_psi")
 class PerNodePsiSelection(WinnerSelection):
     """psi-FMore with rank-dependent admission probabilities.
@@ -96,19 +149,56 @@ class PerNodePsiSelection(WinnerSelection):
     ``lambda rank: max(0.9 - 0.02 * rank, 0.2)`` favours the top while
     keeping a diversity floor.  As with :class:`PsiSelection`, repeated
     passes over the not-yet-admitted candidates guarantee K winners.
+
+    Instead of a callable, a declarative schedule may be named —
+    ``PerNodePsiSelection(schedule="geometric", psi0=0.9, decay=0.95)`` —
+    which is what the ``per_node_psi`` registry spec and Scenario policy
+    specs use (see :class:`RankPsiSchedule` for the families).
     """
 
-    def __init__(self, psi_of_rank, floor: float = 0.01):
+    def __init__(
+        self,
+        psi_of_rank=None,
+        floor: float = 0.01,
+        schedule: str | None = None,
+        psi0: float = 0.9,
+        decay: float = 0.95,
+        slope: float = 0.02,
+    ):
+        if not (0.0 < floor <= 1.0):
+            raise ValueError(
+                f"floor must lie in (0, 1]; got {floor!r} "
+                "(it is the minimum admission probability of any rank)"
+            )
+        if (psi_of_rank is None) == (schedule is None):
+            raise TypeError(
+                "provide exactly one of psi_of_rank (a callable rank -> "
+                "probability) or schedule (one of "
+                f"{RANK_SCHEDULE_NAMES}, with psi0/decay/slope parameters)"
+            )
+        if schedule is not None:
+            psi_of_rank = RankPsiSchedule(
+                schedule=schedule, psi0=psi0, decay=decay, slope=slope, floor=floor
+            )
         if not callable(psi_of_rank):
             raise TypeError("psi_of_rank must be callable(rank) -> probability")
-        if not (0.0 < floor <= 1.0):
-            raise ValueError("floor must lie in (0, 1]")
         self.psi_of_rank = psi_of_rank
         self.floor = float(floor)
 
     def probability(self, rank: int) -> float:
-        """The (clipped) admission probability used for a given rank."""
+        """The (clipped) admission probability used for a given rank.
+
+        Finite values outside ``[floor, 1]`` are clamped into the interval;
+        a non-finite ``psi_of_rank`` output raises (it would silently
+        poison the selection loop otherwise).
+        """
         p = float(self.psi_of_rank(rank))
+        if not np.isfinite(p):
+            raise ValueError(
+                f"psi_of_rank({rank}) returned {p!r}; admission "
+                "probabilities must be finite (they are clamped into "
+                f"[{self.floor}, 1.0])"
+            )
         return float(min(max(p, self.floor), 1.0))
 
     def select(self, n_bids: int, k_winners: int, rng: np.random.Generator) -> list[int]:

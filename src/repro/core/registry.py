@@ -38,6 +38,7 @@ __all__ = [
     "PAYMENT_RULES",
     "MARGIN_METHODS",
     "EXECUTORS",
+    "ROUND_POLICIES",
 ]
 
 
@@ -150,3 +151,7 @@ PAYMENT_RULES = Registry("payment rule")
 MARGIN_METHODS = Registry("margin backend")
 # Sweep executors (members live in repro.api.executor: serial/thread/process).
 EXECUTORS = Registry("executor")
+# Per-round protocol policies (members live in repro.core.policies:
+# selection/guidance/audit_blacklist/churn), driven as a pipeline of stage
+# hooks by FMoreMechanism.run_round and addressed by Scenario.policies.
+ROUND_POLICIES = Registry("round policy")

@@ -45,6 +45,10 @@ class SelectionResult:
     payments: dict[int, float] = field(default_factory=dict)
     scores: dict[int, float] = field(default_factory=dict)
     outcome: AuctionOutcome | None = None
+    # Round-policy decisions (bans, alpha updates, churn) filed by the
+    # mechanism's policy pipeline this round; empty for policy-free runs
+    # and for the non-auction schemes.
+    actions: list = field(default_factory=list)
 
     @property
     def total_payment(self) -> float:
@@ -142,4 +146,5 @@ class AuctionSelection(SelectionStrategy):
             payments=payments,
             scores=scores,
             outcome=outcome,
+            actions=list(record.actions),
         )

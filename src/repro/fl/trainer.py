@@ -50,6 +50,10 @@ class RoundRecord:
     all_scores: list[float] = field(default_factory=list)
     mean_train_loss: float = 0.0
     round_seconds: float = 0.0
+    # Per-winner charged payments (auction schemes only).
+    payments: dict[int, float] = field(default_factory=dict)
+    # Round-policy decisions (see repro.core.policies.PolicyAction).
+    policy_actions: list = field(default_factory=list)
 
 
 @dataclass
@@ -164,6 +168,8 @@ class FederatedTrainer:
             all_scores=all_scores,
             mean_train_loss=float(np.mean([u.train_loss for u in updates])) if updates else 0.0,
             round_seconds=float(seconds),
+            payments=dict(sel.payments),
+            policy_actions=list(sel.actions),
         )
 
     def run(self, n_rounds: int) -> TrainingHistory:

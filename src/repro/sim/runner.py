@@ -60,6 +60,7 @@ def run_seeds(
     timer=None,
     executor: str = "serial",
     max_workers: int | None = None,
+    policies: dict | None = None,
 ) -> dict[str, list[TrainingHistory]]:
     """Run all schemes across seeds, grouped by scheme.
 
@@ -68,13 +69,17 @@ def run_seeds(
     are built exactly once and reused by every seed.  ``executor`` /
     ``max_workers`` populate the scenario's ``execution`` spec — the
     ``(scheme, seed)`` cells are embarrassingly parallel, and every
-    executor returns bitwise-identical histories.
+    executor returns bitwise-identical histories.  ``policies`` (a
+    Scenario round-policy spec, see :mod:`repro.core.policies`) installs a
+    per-round policy pipeline on the auction schemes.
     """
     engine = FMoreEngine(timer=timer)
     scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=tuple(seeds))
     scenario = scenario.with_(
         execution={"executor": executor, "max_workers": max_workers}
     )
+    if policies is not None:
+        scenario = scenario.with_(policies=policies)
     return engine.run(scenario).histories
 
 

@@ -170,8 +170,33 @@ class TestScenario:
         assert scenario.schemes == ("FMore",)
 
     def test_with_overrides_rejects_unknown_key(self):
-        with pytest.raises(ValueError, match="unknown scenario field"):
+        # The message must list the valid override paths (satellite of the
+        # policy-pipeline redesign: no opaque constructor errors).
+        with pytest.raises(ValueError, match="unknown scenario override"):
             Scenario().with_overrides(["rounds=5"])
+        with pytest.raises(ValueError, match="valid paths"):
+            Scenario().with_overrides(["rounds=5"])
+
+    def test_with_overrides_dotted_spec_paths(self):
+        scenario = Scenario().with_overrides(
+            ["scoring.scale=30", "execution.max_workers=3"]
+        )
+        assert scenario.scoring["scale"] == 30
+        assert scenario.execution["max_workers"] == 3
+        # Untouched sibling keys survive the nested merge.
+        assert scenario.scoring["name"] == "multiplicative"
+
+    def test_with_overrides_dotted_policy_paths(self):
+        scenario = Scenario().with_overrides(
+            ['policies.selection={"name": "psi", "psi": 0.7}']
+        ).with_overrides(["policies.selection.psi=0.4"])
+        assert scenario.policies["selection"] == {"name": "psi", "psi": 0.4}
+
+    def test_with_overrides_dotted_rejects_non_spec_fields(self):
+        with pytest.raises(ValueError, match="does not support dotted"):
+            Scenario().with_overrides(["seeds.0=1"])
+        with pytest.raises(ValueError, match="unknown scenario override"):
+            Scenario().with_overrides(["bogus.name=linear"])
 
 
 @pytest.fixture(scope="module")

@@ -212,6 +212,67 @@ class TestPerNodePsi:
         with pytest.raises(ValueError):
             PerNodePsiSelection(lambda r: 0.5, floor=0.0)
 
+    def test_floor_outside_unit_interval_rejected_with_message(self):
+        # Regression: floors outside (0, 1] must fail at construction with
+        # a message naming the bound, for every way of reaching the class.
+        for bad in (0.0, -0.1, 1.5, 2.0):
+            with pytest.raises(ValueError, match=r"floor must lie in \(0, 1\]"):
+                PerNodePsiSelection(lambda r: 0.5, floor=bad)
+            with pytest.raises(ValueError, match=r"floor must lie in \(0, 1\]"):
+                PerNodePsiSelection(schedule="constant", psi0=0.5, floor=bad)
+
+    def test_non_finite_psi_of_rank_raises_with_message(self):
+        # Regression: a psi_of_rank returning NaN/inf used to flow into the
+        # admission loop; now it raises naming the offending rank.
+        sel = PerNodePsiSelection(lambda r: float("nan"))
+        with pytest.raises(ValueError, match=r"psi_of_rank\(3\) returned"):
+            sel.probability(3)
+        sel_inf = PerNodePsiSelection(lambda r: float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            sel_inf.select(10, 2, np.random.default_rng(0))
+
+    def test_out_of_range_finite_values_clamp(self):
+        sel = PerNodePsiSelection(lambda r: 7.0 - 10.0 * r, floor=0.25)
+        assert sel.probability(0) == 1.0       # 7.0 clamps down to 1
+        assert sel.probability(5) == 0.25      # -43 clamps up to the floor
+
+    def test_exactly_one_of_callable_or_schedule(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            PerNodePsiSelection()
+        with pytest.raises(TypeError, match="exactly one"):
+            PerNodePsiSelection(lambda r: 0.5, schedule="geometric")
+
+    def test_declarative_schedules(self):
+        geo = PerNodePsiSelection(schedule="geometric", psi0=0.8, decay=0.5, floor=0.1)
+        assert geo.probability(0) == pytest.approx(0.8)
+        assert geo.probability(2) == pytest.approx(0.2)
+        assert geo.probability(10) == pytest.approx(0.1)  # floored
+        lin = PerNodePsiSelection(schedule="linear", psi0=0.9, slope=0.3, floor=0.05)
+        assert lin.probability(1) == pytest.approx(0.6)
+        assert lin.probability(9) == pytest.approx(0.05)
+        const = PerNodePsiSelection(schedule="constant", psi0=0.4)
+        assert all(const.probability(r) == pytest.approx(0.4) for r in range(5))
+
+    def test_schedule_parameter_validation(self):
+        with pytest.raises(ValueError, match="unknown rank schedule"):
+            PerNodePsiSelection(schedule="harmonic")
+        with pytest.raises(ValueError, match=r"psi0 must lie in \(0, 1\]"):
+            PerNodePsiSelection(schedule="geometric", psi0=1.2)
+        with pytest.raises(ValueError, match=r"decay must lie in \(0, 1\]"):
+            PerNodePsiSelection(schedule="geometric", decay=0.0)
+        with pytest.raises(ValueError, match="slope must be >= 0"):
+            PerNodePsiSelection(schedule="linear", slope=-0.1)
+
+    def test_registry_spec_is_fully_declarative(self):
+        from repro.core.registry import WINNER_SELECTIONS
+
+        sel = WINNER_SELECTIONS.create(
+            {"name": "per_node_psi", "schedule": "geometric", "psi0": 0.9, "decay": 0.9}
+        )
+        assert isinstance(sel, PerNodePsiSelection)
+        chosen = sel.select(20, 5, np.random.default_rng(0))
+        assert len(chosen) == 5
+
 
 class TestProposition2:
     """Identical private types => psi does not change winning probability."""

@@ -22,7 +22,16 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize(
         "symbol",
-        ["Scenario", "FMoreEngine", "RunResult", "Federation", "SCHEME_NAMES"],
+        [
+            "Scenario",
+            "FMoreEngine",
+            "RunResult",
+            "Federation",
+            "SCHEME_NAMES",
+            "Session",
+            "RoundEvent",
+            "make_session",
+        ],
     )
     def test_api_exports(self, symbol):
         api = importlib.import_module("repro.api")
@@ -53,6 +62,16 @@ class TestPackageSurface:
             "FMoreMechanism",
             "optimal_quality_mix",
             "check_incentive_compatibility",
+            "ROUND_POLICIES",
+            "RoundPolicy",
+            "PolicyAction",
+            "SelectionPolicy",
+            "GuidancePolicy",
+            "AuditBlacklistPolicy",
+            "ChurnPolicy",
+            "build_policy_pipeline",
+            "RankPsiSchedule",
+            "simulate_deliveries",
         ],
     )
     def test_core_exports(self, symbol):
