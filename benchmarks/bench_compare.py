@@ -1,15 +1,22 @@
 """Perf-trajectory gate: compare two ``BENCH_grid_build.json`` artifacts.
 
-The ``bench-smoke`` CI job uploads the grid-build timings of every commit;
-this script turns that stream of artifacts into a *tracked trajectory* by
-comparing the current run against the previous one and failing on a
-regression beyond the allowed band.
+The ``bench-smoke`` CI job uploads the execution-layer timings of every
+commit; this script turns that stream of artifacts into a *tracked
+trajectory* by comparing the current run against the previous one and
+failing on a regression beyond the allowed band.
 
-Only the vectorised ``batch_seconds`` per closed-form family is gated —
-it is the hot path the execution layer optimises and the stablest timing
-in the artifact (the sweep section trains neural nets and is reported but
-not gated).  A missing/corrupt previous artifact is not an error: the
-first run of a branch has nothing to compare against.
+Three sections are gated — the pure-NumPy hot paths, which are the
+stablest timings in the artifact:
+
+* ``grid_build.<family>.batch_seconds`` — the vectorised strategy-table
+  build per closed-form family,
+* ``bid_batch.batch_seconds`` — whole-population bid pricing,
+* ``round.seconds`` — one full auction round through the mechanism.
+
+The sweep section trains neural nets and is reported but not gated.  A
+missing/corrupt previous artifact is not an error: the first run of a
+branch has nothing to compare against, and a newly-added gate starts its
+own trajectory.
 
 Usage::
 
@@ -38,6 +45,24 @@ def load(path: Path) -> dict | None:
         return None
 
 
+def _gated_timings(data: dict) -> dict[str, float]:
+    """The gated ``label -> seconds`` entries present in an artifact.
+
+    Labels are stable across commits so old and new artifacts align:
+    ``grid:<family>`` per closed-form family, plus ``bid_batch`` and
+    ``round`` (absent in pre-extension artifacts — tolerated, each gate
+    starts its own trajectory).
+    """
+    out: dict[str, float] = {}
+    for family, row in sorted(data.get("grid_build", {}).items()):
+        out[f"grid:{family}"] = float(row["batch_seconds"])
+    if "bid_batch" in data:
+        out["bid_batch"] = float(data["bid_batch"]["batch_seconds"])
+    if "round" in data:
+        out["round"] = float(data["round"]["seconds"])
+    return out
+
+
 def compare(
     previous: dict,
     current: dict,
@@ -46,29 +71,27 @@ def compare(
 ) -> list[str]:
     """Human-readable comparison rows; returns the list of failures.
 
-    A family regresses when it exceeds the relative band *and* the
+    A gated timing regresses when it exceeds the relative band *and* the
     absolute slack: ``cur > prev * (1 + max_regression) + abs_epsilon``.
     The epsilon keeps millisecond-scale timings from flaking on runner
     noise (the bench itself already takes best-of-N per artifact).
     """
     failures: list[str] = []
-    prev_grid = previous.get("grid_build", {})
-    cur_grid = current.get("grid_build", {})
-    print(f"{'family':<12} {'previous':>10} {'current':>10} {'ratio':>7}  verdict")
-    for family in sorted(cur_grid):
-        cur_s = float(cur_grid[family]["batch_seconds"])
-        prev_row = prev_grid.get(family)
-        if prev_row is None:
-            print(f"{family:<12} {'-':>10} {cur_s:>10.4f} {'-':>7}  new family")
+    prev_gated = _gated_timings(previous)
+    cur_gated = _gated_timings(current)
+    print(f"{'timing':<16} {'previous':>10} {'current':>10} {'ratio':>7}  verdict")
+    for label, cur_s in cur_gated.items():
+        prev_s = prev_gated.get(label)
+        if prev_s is None:
+            print(f"{label:<16} {'-':>10} {cur_s:>10.4f} {'-':>7}  new gate")
             continue
-        prev_s = float(prev_row["batch_seconds"])
         ratio = cur_s / prev_s if prev_s > 0 else float("inf")
         regressed = cur_s > prev_s * (1.0 + max_regression) + abs_epsilon
         verdict = "REGRESSED" if regressed else "ok"
-        print(f"{family:<12} {prev_s:>10.4f} {cur_s:>10.4f} {ratio:>7.2f}  {verdict}")
+        print(f"{label:<16} {prev_s:>10.4f} {cur_s:>10.4f} {ratio:>7.2f}  {verdict}")
         if regressed:
             failures.append(
-                f"{family}: batch build {prev_s:.4f}s -> {cur_s:.4f}s "
+                f"{label}: {prev_s:.4f}s -> {cur_s:.4f}s "
                 f"({ratio:.2f}x > {1 + max_regression:.2f}x allowed "
                 f"+ {abs_epsilon}s slack)"
             )

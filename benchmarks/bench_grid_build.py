@@ -1,13 +1,22 @@
-"""Execution-layer benchmark: vectorised grid build + sweep executors.
+"""Execution-layer benchmark: grid build, bid batching, round loop, sweeps.
 
-Two timings seed the performance trajectory of the unified execution
-layer:
+Four timings feed the performance trajectory of the execution layer (the
+first three are *gated* by ``bench_compare.py`` — a >20% regression
+against the previous CI artifact fails the build; the sweep section is
+informational):
 
 * **grid build** — ``optimize_quality_batch`` versus the per-point
   ``optimize_quality`` loop at the paper's ``grid_size=257``, for each
   closed-form family (additive scoring with linear/quadratic/power costs).
   The batch pass must be bitwise-identical and at least 5x faster — that
   bound is *asserted*, not just reported.
+* **bid batch** — ``EquilibriumSolver.bid_batch`` pricing a whole
+  population's capacity-capped bids in one call, versus the per-agent
+  ``bid_with_capacity`` loop, at the paper's population (N=100, K=20).
+* **round** — one full auction round (bid ask, batched bid collection,
+  winner determination, payments) through ``FMoreMechanism.run_round``
+  with solver-backed agents.  Pure NumPy — the steadiest end-to-end
+  protocol timing we can gate.
 * **sweep** — one tiny multi-seed scenario run through each registered
   executor (serial/thread/process), recording wall-clock seconds and
   verifying the histories agree.
@@ -86,6 +95,98 @@ def time_grid_build(repeats: int = 5) -> dict:
     return out
 
 
+def _best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _population(n_agents: int):
+    """A deterministic (thetas, capacities) population of the paper's game."""
+    from repro.api import Scenario, build_solver
+    from repro.sim.rng import rng_from
+
+    solver = build_solver(
+        Scenario.from_preset("bench", "mnist_o"), n_clients=100, k_winners=20
+    )
+    rng = rng_from(0, "bench-bid-batch")
+    thetas = rng.uniform(0.1, 1.0, n_agents)
+    capacities = np.column_stack(
+        [rng.uniform(0.2, 5.0, n_agents), rng.uniform(0.05, 1.0, n_agents)]
+    )
+    return solver, thetas, capacities
+
+
+def time_bid_batch(repeats: int = 5, n_agents: int = 100) -> dict:
+    """Vectorised population pricing vs the per-agent loop (best of N).
+
+    ``batch_seconds`` is the gated trajectory number; the loop timing is
+    recorded so the artifact also tracks the speedup.
+    """
+    solver, thetas, capacities = _population(n_agents)
+    solver.bid_batch(thetas, capacities, with_costs=True)  # warm the tables
+
+    def loop():
+        for theta, cap in zip(thetas, capacities):
+            solver.bid_with_capacity(float(theta), cap)
+
+    loop_s = _best_of(loop, repeats)
+    batch_s = _best_of(
+        lambda: solver.bid_batch(thetas, capacities, with_costs=True), repeats
+    )
+    return {
+        "n_agents": n_agents,
+        "loop_seconds": loop_s,
+        "batch_seconds": batch_s,
+        "speedup": loop_s / batch_s,
+    }
+
+
+def time_round(repeats: int = 5, n_agents: int = 100) -> dict:
+    """One full protocol round (steps 1-3 of Algorithm 1), best of N.
+
+    Model-free: solver-backed agents bid through the batched collection
+    path and the auction determines winners/payments, so the timing
+    tracks the whole per-round auction hot path without FL training
+    noise.
+    """
+    from repro.core.auction import MultiDimensionalProcurementAuction
+    from repro.core.mechanism import FMoreMechanism
+    from repro.mec.node import EdgeNode
+    from repro.mec.resources import ResourceProfile, UniformAvailabilityDynamics
+    from repro.sim.rng import rng_from
+
+    solver, thetas, _ = _population(n_agents)
+    data_rng = rng_from(0, "bench-round-data")
+    agents = [
+        EdgeNode(
+            node_id=i,
+            theta=float(t),
+            solver=solver,
+            profile=ResourceProfile(
+                data_size=int(data_rng.integers(200, 5000)),
+                category_proportion=float(data_rng.uniform(0.05, 1.0)),
+            ),
+            dynamics=UniformAvailabilityDynamics(0.35),
+            theta_jitter=0.2,
+        )
+        for i, t in enumerate(thetas)
+    ]
+    auction = MultiDimensionalProcurementAuction(solver.quality_rule, 20)
+
+    def one_round():
+        # Fresh mechanism + fresh rng per call: identical draws every
+        # repeat, and the mechanism history never grows across timings.
+        FMoreMechanism(auction).run_round(agents, 1, rng_from(0, "bench-round"))
+
+    one_round()  # warm any lazy state
+    seconds = _best_of(one_round, repeats)
+    return {"n_agents": n_agents, "k_winners": 20, "seconds": seconds}
+
+
 def time_sweeps(quick: bool = True) -> dict:
     """Wall-clock of one multi-seed plan per executor (identical results)."""
     from repro.api import EXECUTORS, FMoreEngine, Scenario
@@ -121,7 +222,10 @@ def time_sweeps(quick: bool = True) -> dict:
 
 
 def run(quick: bool = True, out_path: Path | None = None) -> dict:
-    grid = time_grid_build(repeats=3 if quick else 7)
+    repeats = 3 if quick else 7
+    grid = time_grid_build(repeats=repeats)
+    bid_batch = time_bid_batch(repeats=repeats)
+    round_timing = time_round(repeats=repeats)
     sweep = time_sweeps(quick=quick)
     payload = {
         "bench": "grid_build",
@@ -129,6 +233,8 @@ def run(quick: bool = True, out_path: Path | None = None) -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "grid_build": grid,
+        "bid_batch": bid_batch,
+        "round": round_timing,
         "sweep": sweep,
     }
     if out_path is not None:
@@ -157,6 +263,22 @@ def test_sweep_executors_agree():
         assert row["matches_serial"], f"{name} diverged from serial"
 
 
+def test_bid_batch_section_tracks_speedup():
+    """The gated bid-batch timing exists and the batch path stays >=5x."""
+    row = time_bid_batch(repeats=3)
+    assert row["batch_seconds"] > 0
+    assert row["speedup"] >= MIN_SPEEDUP, (
+        f"bid_batch {row['speedup']:.1f}x < {MIN_SPEEDUP}x (loop "
+        f"{row['loop_seconds']:.4f}s vs batch {row['batch_seconds']:.4f}s)"
+    )
+
+
+def test_round_section_measures_full_protocol_round():
+    row = time_round(repeats=3)
+    assert row["seconds"] > 0
+    assert row["n_agents"] == 100 and row["k_winners"] == 20
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke settings")
@@ -170,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
     for name, row in payload["grid_build"].items():
         if not row["bitwise_equal"] or row["speedup"] < MIN_SPEEDUP:
             failures.append(name)
+    if payload["bid_batch"]["speedup"] < MIN_SPEEDUP:
+        failures.append("bid_batch")
     for name, row in payload["sweep"].items():
         if not row["matches_serial"]:
             failures.append(f"sweep:{name}")

@@ -15,6 +15,14 @@ Usage::
     python -m repro run --preset cluster_cifar10     # Fig 12-13 via the engine
     python -m repro scenario --preset bench > exp.json   # emit a spec
 
+    # Durable runs: content-addressed manifests + checkpoint/resume.
+    python -m repro run --preset bench --store runs/ --checkpoint-every 5
+    python -m repro run --preset bench --store runs/ --resume   # pick up a crash
+    python -m repro run --preset bench --store runs/ --set seeds=0,1,2,3,4
+    #   ^ completed (scheme, seed) cells are loaded, only new ones compute
+    python -m repro report --store runs/             # scheme comparison tables
+    python -m repro report --store runs/ --csv metrics.csv   # metrics frame
+
     # Round-policy pipeline: per-round behaviors as --policy stage=spec.
     python -m repro run --preset smoke \
         --policy 'selection={"name":"per_node_psi","schedule":"geometric","psi0":0.9,"decay":0.95}'
@@ -42,7 +50,22 @@ from pathlib import Path
 
 import numpy as np
 
-COMMANDS = ("list", "theory", "compare", "cluster", "sweep-n", "sweep-k", "run", "scenario")
+COMMANDS = (
+    "list",
+    "theory",
+    "compare",
+    "cluster",
+    "sweep-n",
+    "sweep-k",
+    "run",
+    "scenario",
+    "report",
+)
+
+# Exit status of an intentionally-interrupted `run --stop-after N`: the
+# cells are checkpointed, not failed (shells read 3 as "try again with
+# --resume"; distinct from argparse's 2 and error's 1).
+EXIT_INCOMPLETE = 3
 
 DEFAULT_SCHEMES = ("FMore", "RandFL", "FixFL")
 
@@ -175,12 +198,27 @@ def _cmd_scenario(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .api import FMoreEngine
+    from .api import FMoreEngine, IncompleteRunError, StoreMismatchError
     from .sim.reporting import ascii_table, series_table
 
     scenario = _load_scenario(args)
     engine = FMoreEngine()
-    result = engine.run(scenario)
+    try:
+        result = engine.run(
+            scenario,
+            store=args.store,
+            force=args.force,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            stop_after=args.stop_after,
+        )
+    except StoreMismatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    except IncompleteRunError as exc:
+        print(exc)
+        return EXIT_INCOMPLETE
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     multi_seed = len(scenario.seeds) > 1
     rounds = list(range(1, scenario.n_rounds + 1))
     if multi_seed:
@@ -219,6 +257,131 @@ def _cmd_run(args) -> int:
             f"{engine.cache_hits} reuse(s) across {len(scenario.seeds)} seed(s)"
             + note
         )
+    if args.store is not None:
+        from .api import scenario_hash
+
+        print(
+            f"store: manifests under {args.store} "
+            f"(scenario {scenario_hash(scenario)[:12]}…)"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Render scheme-comparison tables from an experiment store."""
+    from .api import RunResult, Scenario, scenario_hash
+    from .api.store import ExperimentStore
+    from .sim.reporting import ascii_table
+
+    if args.store is None:
+        raise SystemExit("error: report needs --store DIR")
+    store = ExperimentStore(args.store)
+    stored = store.scenarios()
+    if args.scenario is not None:
+        try:
+            wanted = Scenario.from_json(Path(args.scenario).read_text())
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"error: {exc}")
+        h = scenario_hash(wanted)
+        if h not in stored:
+            listing = ", ".join(
+                f"{k[:12]}… ({v.get('name', '?')})" for k, v in stored.items()
+            ) or "none"
+            raise SystemExit(
+                f"error: scenario {h[:12]}… ({wanted.name!r}) has no runs in "
+                f"{args.store}; stored: {listing}"
+            )
+        stored = {h: stored[h]}
+    if not stored:
+        raise SystemExit(f"error: no runs stored under {args.store}")
+    if args.csv is not None and len(stored) > 1:
+        raise SystemExit(
+            "error: --csv needs a single scenario; narrow the report with "
+            "--scenario FILE"
+        )
+    print(f"experiment store: {args.store}")
+    for h in stored:
+        scenario = store.load_scenario(h)
+        cells = [(s, d) for (_, s, d) in store.cells(h)]
+        found_schemes = sorted(
+            {s for s, _ in cells},
+            key=lambda s: (
+                scenario.schemes.index(s) if s in scenario.schemes else 99
+            ),
+        )
+        seeds_of = {
+            s: sorted(d for sc, d in cells if sc == s) for s in found_schemes
+        }
+        print(
+            f"\nscenario {scenario.name!r} ({h[:12]}…): "
+            f"{len(cells)} stored cell(s), {scenario.n_rounds} rounds"
+        )
+        rows = []
+        loaded = {}
+        for scheme in found_schemes:
+            seeds = seeds_of[scheme]
+            histories = [store.load_history(h, scheme, d) for d in seeds]
+            loaded[scheme] = dict(zip(seeds, histories))
+            finals = [hist.final_accuracy for hist in histories]
+            payments = [hist.total_payment for hist in histories]
+            mean_curve = np.mean([hist.accuracies for hist in histories], axis=0)
+            reached = [
+                i + 1 for i, a in enumerate(mean_curve) if a >= args.target
+            ]
+            bans = [
+                sum(
+                    1
+                    for r in hist.records
+                    for a in r.policy_actions
+                    if a.kind == "ban"
+                )
+                for hist in histories
+            ]
+            rows.append(
+                (
+                    scheme,
+                    len(seeds),
+                    round(float(np.mean(finals)), 4),
+                    reached[0] if reached else None,
+                    round(float(np.mean(payments)), 3),
+                    round(float(np.mean(bans)), 2),
+                )
+            )
+        print(
+            ascii_table(
+                [
+                    "scheme",
+                    "seeds",
+                    "final acc",
+                    f"rounds to {args.target:.0%}",
+                    "payment",
+                    "bans",
+                ],
+                rows,
+            )
+        )
+        if args.csv is not None:
+            # The metrics frame needs a rectangular plan: every scheme must
+            # cover the same seed set.
+            seed_sets = {frozenset(v) for v in seeds_of.values()}
+            if len(seed_sets) != 1:
+                raise SystemExit(
+                    "error: --csv needs a complete (scheme x seed) grid; "
+                    f"stored seeds differ per scheme: {dict(seeds_of)}"
+                )
+            plan = scenario.with_(
+                schemes=tuple(found_schemes),
+                seeds=tuple(sorted(seed_sets.pop())),
+            )
+            frame = RunResult(
+                plan,
+                {
+                    scheme: [loaded[scheme][seed] for seed in plan.seeds]
+                    for scheme in plan.schemes
+                },
+            ).metrics()
+            frame.to_csv(args.csv)
+            print(f"\nwrote {len(frame)} metric rows to {args.csv}")
     return 0
 
 
@@ -336,6 +499,58 @@ def main(argv: list[str] | None = None) -> int:
         choices=("serial", "thread", "process"),
         help="executor family for `run` (default: the scenario's execution spec)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="experiment store: `run` writes content-addressed manifests "
+        "there and skips (scheme, seed) cells already completed; `report` "
+        "reads it",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume checkpointed cells from --store (bitwise-identical to "
+        "an uninterrupted run); fails fast if the store belongs to a "
+        "different scenario",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute cells even when their manifests exist in --store",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --store: checkpoint each in-flight cell every N rounds "
+        "(a crash then loses at most N rounds)",
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="advance each cell at most N rounds this process, checkpoint "
+        f"and exit {EXIT_INCOMPLETE} (controlled interruption for "
+        "time-sliced jobs; continue with --resume)",
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=0.5,
+        metavar="ACC",
+        help="accuracy threshold for `report`'s rounds-to-target column "
+        "(default 0.5)",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="FILE",
+        help="with `report`: also write the scenario's per-round metrics "
+        "frame (seed-averaged accuracy/time/policy trajectories) as CSV",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -360,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError("unreachable")
 
 

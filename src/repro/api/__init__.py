@@ -19,9 +19,16 @@ equilibrium solver per advertised game, and collects all bids per round
 through the vectorised ``EquilibriumSolver.bid_batch`` path.  Long runs
 can be driven round by round: ``engine.session(scenario, scheme, seed)``
 returns a :class:`Session` yielding structured :class:`RoundEvent`
-values (``run`` is a consumer of sessions, bitwise-identical).  The
-legacy builder functions in :mod:`repro.sim.experiment` are thin shims
-over this package.
+values (``run`` is a consumer of sessions, bitwise-identical).
+
+Results are durable: ``engine.run(scenario, store="runs/")`` writes every
+``(scheme, seed)`` cell as a content-addressed manifest in an
+:class:`ExperimentStore` and skips cells already on disk; sessions
+checkpoint (``session.snapshot()``) and resume
+(``engine.resume(checkpoint)``) bitwise-identically; and
+``result.metrics()`` returns a :class:`MetricsFrame` of seed-averaged
+training and policy trajectories (see :mod:`repro.api.store` and
+:mod:`repro.api.metrics`).
 """
 
 from .engine import (
@@ -44,7 +51,16 @@ from .executor import (
     SerialExecutor,
     ThreadExecutor,
 )
+from .metrics import MetricsFrame, build_metrics_frame
 from .scenario import SCHEME_NAMES, VARIANT_NAMES, Scenario
+from .store import (
+    Checkpoint,
+    ExperimentStore,
+    IncompleteRunError,
+    StoreError,
+    StoreMismatchError,
+    scenario_hash,
+)
 
 __all__ = [
     "Scenario",
@@ -66,4 +82,12 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ExperimentStore",
+    "Checkpoint",
+    "StoreError",
+    "StoreMismatchError",
+    "IncompleteRunError",
+    "scenario_hash",
+    "MetricsFrame",
+    "build_metrics_frame",
 ]

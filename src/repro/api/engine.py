@@ -1,7 +1,6 @@
 """The :class:`FMoreEngine` façade: scenario in, training histories out.
 
-This module is the real assembly path of the simulator (the legacy
-builders in :mod:`repro.sim.experiment` are thin shims over it).  From a
+This module is the assembly path of the simulator.  From a
 :class:`~repro.api.scenario.Scenario` it builds
 
 * the **federation** — synthetic dataset generator, heterogeneous non-IID
@@ -21,6 +20,7 @@ a :class:`RunResult`.
 
 from __future__ import annotations
 
+import copy
 import functools
 import threading
 from dataclasses import dataclass, field
@@ -60,9 +60,16 @@ from ..mec.cluster import (
 )
 from ..mec.node import EdgeNode
 from ..mec.resources import ResourceProfile, UniformAvailabilityDynamics
-from ..sim.rng import rng_from
+from ..sim.rng import rng_from, rng_state, set_rng_state
 from .executor import Executor, SerialExecutor
 from .scenario import SCHEME_NAMES, Scenario
+from .store import (
+    Checkpoint,
+    ExperimentStore,
+    IncompleteRunError,
+    StoreError,
+    scenario_hash,
+)
 
 __all__ = [
     "Federation",
@@ -449,6 +456,104 @@ class Session:
             pass
         return self.history
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Checkpoint:
+        """Everything needed to continue this cell bitwise-identically.
+
+        Captured between rounds: the global model's weights, the rounds
+        run so far, the exact position of the training RNG stream, and —
+        for auction schemes with a policy pipeline — the policy stream's
+        position plus every policy's
+        :meth:`~repro.core.policies.RoundPolicy.state_dict`.  A fresh
+        session restored from the snapshot (:meth:`restore`) produces the
+        same remaining rounds the uninterrupted session would have.
+        """
+        policy_rng_state = None
+        policy_states: list[dict] = []
+        selection = self.trainer.selection
+        if isinstance(selection, AuctionSelection):
+            mechanism = selection.mechanism
+            policy_states = [p.state_dict() for p in mechanism.policies]
+            if mechanism.policy_rng is not None:
+                policy_rng_state = rng_state(mechanism.policy_rng)
+        return Checkpoint(
+            scenario=self.scenario.to_dict(),
+            scenario_hash=scenario_hash(self.scenario),
+            scheme=self.scheme,
+            seed=self.seed,
+            round_index=self.rounds_run,
+            records=copy.deepcopy(self.history.records),
+            weights=self.trainer.server.model.get_weights(),
+            rng_state=rng_state(self.trainer.rng),
+            policy_rng_state=policy_rng_state,
+            policy_states=policy_states,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> "Session":
+        """Install a :meth:`snapshot` into this (fresh) session.
+
+        The session must address the same cell: scenario hash, scheme and
+        seed are all verified.  Returns ``self`` so
+        ``engine.resume(checkpoint)`` reads naturally.
+        """
+        if self.rounds_run:
+            raise ValueError(
+                f"restore needs a fresh session; this one already ran "
+                f"{self.rounds_run} round(s)"
+            )
+        own_hash = scenario_hash(self.scenario)
+        if checkpoint.scenario_hash != own_hash:
+            raise StoreError(
+                f"checkpoint was taken under scenario "
+                f"{checkpoint.scenario_hash[:12]}…, but this session runs "
+                f"{own_hash[:12]}… ({self.scenario.name!r}); resuming it "
+                "would not reproduce the original run"
+            )
+        if (checkpoint.scheme, checkpoint.seed) != (self.scheme, self.seed):
+            raise StoreError(
+                f"checkpoint addresses cell ({checkpoint.scheme}, seed "
+                f"{checkpoint.seed}), not ({self.scheme}, seed {self.seed})"
+            )
+        if checkpoint.round_index != len(checkpoint.records):
+            raise StoreError(
+                f"corrupt checkpoint: round_index {checkpoint.round_index} "
+                f"but {len(checkpoint.records)} records"
+            )
+        if checkpoint.round_index > self.scenario.n_rounds:
+            raise StoreError(
+                f"checkpoint is at round {checkpoint.round_index} but the "
+                f"scenario only runs {self.scenario.n_rounds}"
+            )
+        self.history.records = copy.deepcopy(checkpoint.records)
+        self.trainer.server.model.set_weights(checkpoint.weights)
+        set_rng_state(self.trainer.rng, checkpoint.rng_state)
+        selection = self.trainer.selection
+        if isinstance(selection, AuctionSelection):
+            mechanism = selection.mechanism
+            if len(checkpoint.policy_states) != len(mechanism.policies):
+                raise StoreError(
+                    f"checkpoint carries {len(checkpoint.policy_states)} "
+                    f"policy states but the pipeline has "
+                    f"{len(mechanism.policies)} stage(s)"
+                )
+            for policy, state in zip(mechanism.policies, checkpoint.policy_states):
+                policy.load_state(state)
+            if checkpoint.policy_rng_state is not None:
+                if mechanism.policy_rng is None:  # pragma: no cover - guard
+                    raise StoreError(
+                        "checkpoint has a policy RNG state but this session "
+                        "runs without a policy stream"
+                    )
+                set_rng_state(mechanism.policy_rng, checkpoint.policy_rng_state)
+        elif checkpoint.policy_states:
+            raise StoreError(
+                f"checkpoint carries policy state but scheme "
+                f"{self.scheme!r} runs no policy pipeline"
+            )
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Session(scheme={self.scheme!r}, seed={self.seed}, "
@@ -556,6 +661,59 @@ class RunResult:
 
         return {s: average_histories(h) for s, h in self.histories.items()}
 
+    def metrics(self) -> "Any":
+        """The seed-averaged :class:`~repro.api.metrics.MetricsFrame`.
+
+        One row per ``(scheme, round)``: accuracy/loss/time/payment means
+        plus the policy trajectory (cumulative bans, violation and churn
+        counts, guidance alpha paths) — with ``to_csv`` / ``to_json``.
+        """
+        from .metrics import build_metrics_frame
+
+        return build_metrics_frame(self)
+
+    # -- durable storage -------------------------------------------------
+    def save(self, store: ExperimentStore | str) -> ExperimentStore:
+        """Write every cell's manifest to ``store``; returns the store."""
+        store = ExperimentStore.coerce(store)
+        for scheme, histories in self.histories.items():
+            for seed, history in zip(self.seeds, histories):
+                store.save_history(self.scenario, scheme, seed, history)
+        return store
+
+    @classmethod
+    def load(
+        cls, store: ExperimentStore | str, scenario: Scenario
+    ) -> "RunResult":
+        """Rebuild a result from stored manifests (the plan must be complete).
+
+        Raises :class:`~repro.api.store.StoreError` listing the missing
+        ``(scheme, seed)`` cells when the store does not cover the
+        scenario's full plan.
+        """
+        store = ExperimentStore.coerce(store)
+        missing = [
+            (scheme, seed)
+            for seed in scenario.seeds
+            for scheme in scenario.schemes
+            if not store.has_cell(scenario, scheme, seed)
+        ]
+        if missing:
+            names = ", ".join(f"{s}/seed{d}" for s, d in missing)
+            raise StoreError(
+                f"store {store.root} is missing {len(missing)} cell(s) of "
+                f"scenario {scenario_hash(scenario)[:12]}… "
+                f"({scenario.name!r}): {names}"
+            )
+        histories = {
+            scheme: [
+                store.load_history(scenario, scheme, seed)
+                for seed in scenario.seeds
+            ]
+            for scheme in scenario.schemes
+        }
+        return cls(scenario, histories)
+
 
 # ----------------------------------------------------------------------
 # The façade
@@ -657,7 +815,16 @@ class FMoreEngine:
         """One ``(scheme, seed)`` cell, using the cached solver."""
         return self.session(scenario, scheme, seed, federation=federation).run()
 
-    def run(self, scenario: Scenario) -> RunResult:
+    def run(
+        self,
+        scenario: Scenario,
+        *,
+        store: ExperimentStore | str | None = None,
+        force: bool = False,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        stop_after: int | None = None,
+    ) -> RunResult:
         """Run every ``(scheme, seed)`` cell of the scenario's plan.
 
         The cells fan out through the executor named by the scenario's
@@ -673,7 +840,34 @@ class FMoreEngine:
           worker processes, each of which rebuilds federations from the
           same streams and keeps a per-process solver cache (the engine's
           ``timer``, if any, must then be picklable).
+
+        With a ``store`` (an :class:`~repro.api.store.ExperimentStore` or
+        its root path) the run becomes durable and incremental: cells
+        whose manifests already exist are loaded instead of re-run
+        (unless ``force``), completed cells are written as
+        content-addressed manifests, and — with ``checkpoint_every=N`` —
+        an in-flight cell checkpoints its session every N rounds, so a
+        crash loses at most N rounds.  ``resume=True`` first verifies the
+        store belongs to this scenario (raising
+        :class:`~repro.api.store.StoreMismatchError` otherwise) and picks
+        up any checkpointed cells exactly where they stopped —
+        bitwise-identical to an uninterrupted run.  ``stop_after=N``
+        bounds the rounds each cell advances *in this process* (a
+        controlled interruption: remaining cells are checkpointed and an
+        :class:`~repro.api.store.IncompleteRunError` is raised).
         """
+        store = ExperimentStore.coerce(store)
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if stop_after is not None and int(stop_after) < 1:
+            raise ValueError("stop_after must be >= 1")
+        if store is None and (resume or checkpoint_every or stop_after):
+            raise ValueError(
+                "resume/checkpoint_every/stop_after need a store to "
+                "read/write checkpoints; pass store=... (CLI: --store DIR)"
+            )
+        if resume:
+            store.require_scenario(scenario)
         executor: Executor = EXECUTORS.create(
             scenario.execution["executor"],
             max_workers=scenario.execution["max_workers"],
@@ -681,45 +875,110 @@ class FMoreEngine:
         cells = [
             (scheme, seed) for seed in scenario.seeds for scheme in scenario.schemes
         ]
-        if executor.in_process:
-            # Under a concurrent in-process executor the scheme-independent
-            # initial weights must be settled before cells race for them;
-            # the serial loop keeps the legacy lazy fill (first cell pays).
-            eager_weights = not isinstance(executor, SerialExecutor)
-            results = executor.map(
-                self._cell_runner(scenario, eager_weights=eager_weights), cells
-            )
-        else:
-            results = executor.map(
-                functools.partial(_run_cell, scenario, self.timer), cells
-            )
+        loaded: dict[tuple[str, int], TrainingHistory] = {}
+        if store is not None and not force:
+            for cell in cells:
+                if store.has_cell(scenario, *cell):
+                    loaded[cell] = store.load_history(scenario, *cell)
+        pending = [cell for cell in cells if cell not in loaded]
+        results: list[TrainingHistory | None] = []
+        if pending:
+            if executor.in_process:
+                # Under a concurrent in-process executor the scheme-independent
+                # initial weights must be settled before cells race for them;
+                # the serial loop keeps the legacy lazy fill (first cell pays).
+                eager_weights = not isinstance(executor, SerialExecutor)
+                results = executor.map(
+                    self._cell_runner(
+                        scenario,
+                        pending,
+                        eager_weights=eager_weights,
+                        store=store,
+                        resume=resume,
+                        checkpoint_every=checkpoint_every,
+                        stop_after=stop_after,
+                    ),
+                    pending,
+                )
+            else:
+                results = executor.map(
+                    functools.partial(
+                        _run_cell,
+                        scenario,
+                        self.timer,
+                        None if store is None else str(store.root),
+                        resume,
+                        checkpoint_every,
+                        stop_after,
+                    ),
+                    pending,
+                )
+        incomplete = [
+            cell for cell, history in zip(pending, results) if history is None
+        ]
+        if incomplete:
+            raise IncompleteRunError(incomplete, store.root)
+        finished = dict(zip(pending, results))
         histories: dict[str, list[TrainingHistory]] = {
             scheme: [] for scheme in scenario.schemes
         }
-        for (scheme, _), history in zip(cells, results):
-            histories[scheme].append(history)
+        for cell in cells:
+            scheme, _ = cell
+            histories[scheme].append(
+                loaded[cell] if cell in loaded else finished[cell]
+            )
         return RunResult(scenario, histories)
 
+    def resume(self, checkpoint: Checkpoint) -> Session:
+        """A :class:`Session` continuing exactly where ``checkpoint`` stopped.
+
+        The checkpoint carries its full scenario spec, so this is
+        self-contained: the cell is reassembled from the same named seed
+        streams, then model weights, completed rounds, RNG positions and
+        policy state are restored.  Draining the returned session yields a
+        history bitwise-identical to the uninterrupted run's.
+        """
+        scenario = Scenario.from_dict(checkpoint.scenario)
+        actual = scenario_hash(scenario)
+        if actual != checkpoint.scenario_hash:
+            raise StoreError(
+                f"checkpoint's embedded scenario hashes to {actual[:12]}… "
+                f"but it claims {checkpoint.scenario_hash[:12]}…; the "
+                "checkpoint is corrupt"
+            )
+        session = self.session(scenario, checkpoint.scheme, checkpoint.seed)
+        return session.restore(checkpoint)
+
     def _cell_runner(
-        self, scenario: Scenario, eager_weights: bool = False
-    ) -> Callable[[tuple[str, int]], TrainingHistory]:
+        self,
+        scenario: Scenario,
+        cells: list[tuple[str, int]],
+        eager_weights: bool = False,
+        store: ExperimentStore | None = None,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        stop_after: int | None = None,
+    ) -> Callable[[tuple[str, int]], TrainingHistory | None]:
         """The in-process cell function: shared solvers, pooled federations.
 
         Federations are built lazily under a lock — once per seed however
         many threads run its cells — and evicted when the seed's last
-        scheme completes.  With ``eager_weights`` the scheme-independent
-        initial weights are settled at federation build time (so
-        concurrent cells never race to fill them); without it, the first
-        cell populates them as the legacy serial loop did.
+        scheme completes (``cells`` is the pending set, so store-cached
+        cells never pin a federation).  With ``eager_weights`` the
+        scheme-independent initial weights are settled at federation build
+        time (so concurrent cells never race to fill them); without it,
+        the first cell populates them as the legacy serial loop did.
         """
-        needs_solver = any(s in _AUCTION_SCHEMES for s in scenario.schemes)
+        needs_solver = any(s in _AUCTION_SCHEMES for s, _ in cells)
         lock = threading.Lock()
         # seed -> (federation, solver); one solver_for call per seed, like
         # the serial loop always made (the engine cache dedupes the build).
         pooled: dict[int, tuple[Federation, EquilibriumSolver | None]] = {}
-        remaining = {seed: len(scenario.schemes) for seed in scenario.seeds}
+        remaining: dict[int, int] = {}
+        for _, seed in cells:
+            remaining[seed] = remaining.get(seed, 0) + 1
 
-        def run_cell(cell: tuple[str, int]) -> TrainingHistory:
+        def run_cell(cell: tuple[str, int]) -> TrainingHistory | None:
             scheme, seed = cell
             with lock:
                 entry = pooled.get(seed)
@@ -732,13 +991,20 @@ class FMoreEngine:
                     entry = pooled[seed] = (federation, solver)
                 federation, solver = entry
             try:
-                return run_scheme(
+                session = make_session(
                     scenario,
                     scheme,
                     seed,
                     federation=federation,
                     timer=self.timer,
                     solver=solver,
+                )
+                return _drive_session(
+                    session,
+                    store=store,
+                    resume=resume,
+                    checkpoint_every=checkpoint_every,
+                    stop_after=stop_after,
                 )
             finally:
                 with lock:
@@ -759,6 +1025,49 @@ def _freeze(value: Any) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Session driving (shared by the in-process and process-pool cell paths)
+# ----------------------------------------------------------------------
+def _drive_session(
+    session: Session,
+    store: ExperimentStore | None = None,
+    resume: bool = False,
+    checkpoint_every: int | None = None,
+    stop_after: int | None = None,
+) -> TrainingHistory | None:
+    """Advance one cell's session, checkpointing/persisting via ``store``.
+
+    Returns the complete history, or ``None`` when ``stop_after`` halted
+    the cell early (its checkpoint is then durable in the store).  With a
+    store, a finished cell writes its manifest and drops its checkpoint —
+    the manifest is the cell's durable, content-addressed result.
+    """
+    scenario, scheme, seed = session.scenario, session.scheme, session.seed
+    if store is not None and resume:
+        checkpoint = store.load_checkpoint(scenario, scheme, seed)
+        if checkpoint is not None:
+            session.restore(checkpoint)
+    budget = None if stop_after is None else int(stop_after)
+    advanced = 0
+    while session.rounds_remaining > 0:
+        if budget is not None and advanced >= budget:
+            store.save_checkpoint(session.snapshot())
+            return None
+        next(session)
+        advanced += 1
+        if (
+            store is not None
+            and checkpoint_every
+            and session.rounds_remaining > 0
+            and advanced % int(checkpoint_every) == 0
+        ):
+            store.save_checkpoint(session.snapshot())
+    if store is not None:
+        store.save_history(scenario, scheme, seed, session.history)
+        store.clear_checkpoint(scenario, scheme, seed)
+    return session.history
+
+
+# ----------------------------------------------------------------------
 # Process-pool entry point
 # ----------------------------------------------------------------------
 # One engine per worker process: cells a worker handles share its solver
@@ -767,13 +1076,21 @@ _WORKER_ENGINE: FMoreEngine | None = None
 
 
 def _run_cell(
-    scenario: Scenario, timer: RoundTimer | None, cell: tuple[str, int]
-) -> TrainingHistory:
+    scenario: Scenario,
+    timer: RoundTimer | None,
+    store_root: str | None,
+    resume: bool,
+    checkpoint_every: int | None,
+    stop_after: int | None,
+    cell: tuple[str, int],
+) -> TrainingHistory | None:
     """Run one ``(scheme, seed)`` cell in the current (worker) process.
 
     Rebuilds the cell's federation from its named seed streams, so the
     returned history is bitwise-identical to the serial path no matter
-    which worker runs it.
+    which worker runs it.  The store rides across the process boundary as
+    its root path (checkpoints and manifests are plain files, so every
+    worker may write its own cells concurrently).
     """
     global _WORKER_ENGINE
     if _WORKER_ENGINE is None:
@@ -782,11 +1099,18 @@ def _run_cell(
     solver = (
         _WORKER_ENGINE.solver_for(scenario) if scheme in _AUCTION_SCHEMES else None
     )
-    return run_scheme(
+    session = make_session(
         scenario,
         scheme,
         seed,
         federation=build_federation(scenario, seed),
         timer=timer,
         solver=solver,
+    )
+    return _drive_session(
+        session,
+        store=None if store_root is None else ExperimentStore(store_root),
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        stop_after=stop_after,
     )

@@ -108,6 +108,47 @@ class Blacklist:
         self._banned.discard(node_id)
         self._strikes.pop(node_id, None)
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the mutable enforcement state.
+
+        Covers everything :meth:`record` accumulates — the violation log,
+        strike counters and the banned set — so a blacklist restored into
+        a fresh instance (same ``strikes_to_ban``/``tolerance``) behaves
+        identically from the next audit on.
+        """
+        return {
+            "violations": [
+                {
+                    "node_id": int(v.node_id),
+                    "round_index": int(v.round_index),
+                    "declared": [float(x) for x in np.asarray(v.declared).ravel()],
+                    "delivered": [float(x) for x in np.asarray(v.delivered).ravel()],
+                    "shortfall": float(v.shortfall),
+                }
+                for v in self.violations
+            ],
+            "strikes": {str(int(k)): int(v) for k, v in self._strikes.items()},
+            "banned": sorted(int(n) for n in self._banned),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a :meth:`state_dict` snapshot, replacing current state."""
+        unknown = sorted(set(state) - {"violations", "strikes", "banned"})
+        if unknown:
+            raise ValueError(f"unknown blacklist state keys {unknown}")
+        self.violations = [
+            Violation(
+                node_id=int(v["node_id"]),
+                round_index=int(v["round_index"]),
+                declared=np.asarray(v["declared"], dtype=float),
+                delivered=np.asarray(v["delivered"], dtype=float),
+                shortfall=float(v["shortfall"]),
+            )
+            for v in state.get("violations", [])
+        ]
+        self._strikes = {int(k): int(v) for k, v in state.get("strikes", {}).items()}
+        self._banned = {int(n) for n in state.get("banned", [])}
+
 
 def simulate_deliveries(
     outcome: AuctionOutcome,

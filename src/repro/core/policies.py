@@ -90,6 +90,22 @@ class PolicyAction:
     round_index: int
     payload: dict = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Plain JSON-able form (payloads are JSON-ish by contract)."""
+        return {
+            "kind": self.kind,
+            "round_index": int(self.round_index),
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyAction":
+        return cls(
+            kind=str(data["kind"]),
+            round_index=int(data["round_index"]),
+            payload=dict(data.get("payload", {})),
+        )
+
 
 @dataclass
 class RoundContext:
@@ -123,6 +139,13 @@ class RoundPolicy:
     Subclasses override only the stages they participate in; the pipeline
     calls all four hooks on every policy each round, in
     :data:`PIPELINE_STAGES` order.
+
+    Policies are stateful per run; the :meth:`state_dict` /
+    :meth:`load_state` pair makes that state durable so a checkpointed
+    session (see :mod:`repro.api.store`) resumes with identical policy
+    behavior.  A stateless policy inherits the empty-dict default; a
+    stateful one must round-trip *all* externally-observable state —
+    resumed runs are pinned bitwise-identical to uninterrupted ones.
     """
 
     def on_round_start(self, ctx: RoundContext) -> None:
@@ -138,6 +161,18 @@ class RoundPolicy:
 
     def after_aggregate(self, ctx: RoundContext, record: "MechanismRound") -> None:
         """Called once the round's outcome is determined."""
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the policy's mutable state (default: none)."""
+        return {}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Install a :meth:`state_dict` snapshot into a fresh policy."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state; got keys "
+                f"{sorted(state)}"
+            )
 
 
 @ROUND_POLICIES.register("selection")
@@ -267,6 +302,31 @@ class GuidancePolicy(RoundPolicy):
         )
         self._window = []
 
+    def state_dict(self) -> dict:
+        return {
+            "alphas": [float(a) for a in self.alphas],
+            "window": [[float(v) for v in w] for w in self._window],
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        state = dict(state)
+        alphas = np.asarray(state.pop("alphas"), dtype=float)
+        if alphas.shape != self.target_mix.shape:
+            raise ValueError(
+                f"guidance state has {alphas.size} alphas but target_mix "
+                f"has {self.target_mix.size} dimensions"
+            )
+        window = [np.asarray(w, dtype=float) for w in state.pop("window")]
+        if state:
+            raise ValueError(f"unknown guidance state keys {sorted(state)}")
+        self.alphas = alphas
+        self._window = window
+        # Force a re-bind: the fresh session's auction still shares its
+        # scoring with the cached equilibrium solver, so the next
+        # on_round_start must privatise a copy and install the restored
+        # alphas on it — exactly the weights the uninterrupted run had.
+        self._bound = False
+
 
 @ROUND_POLICIES.register("audit_blacklist")
 class AuditBlacklistPolicy(RoundPolicy):
@@ -344,6 +404,26 @@ class AuditBlacklistPolicy(RoundPolicy):
         for node_id in sorted(self.blacklist.banned - banned_before):
             ctx.record("ban", node_id=int(node_id))
 
+    def state_dict(self) -> dict:
+        return {
+            # None = the seeded defect_fraction draw has not happened yet.
+            "defectors": (
+                None if self._defectors is None else sorted(self._defectors)
+            ),
+            "blacklist": self.blacklist.state_dict(),
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        state = dict(state)
+        defectors = state.pop("defectors")
+        blacklist_state = state.pop("blacklist")
+        if state:
+            raise ValueError(f"unknown audit state keys {sorted(state)}")
+        self._defectors = (
+            None if defectors is None else frozenset(int(d) for d in defectors)
+        )
+        self.blacklist.load_state(blacklist_state)
+
 
 @ROUND_POLICIES.register("churn")
 class ChurnPolicy(RoundPolicy):
@@ -411,6 +491,24 @@ class ChurnPolicy(RoundPolicy):
     def active_ids(self) -> frozenset[int]:
         """Currently-present node ids (empty before the first round)."""
         return frozenset(self._active or ())
+
+    def state_dict(self) -> dict:
+        return {
+            # None = the population has not been observed yet (round 0).
+            "population": self._population,
+            "active": None if self._active is None else sorted(self._active),
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        state = dict(state)
+        population = state.pop("population")
+        active = state.pop("active")
+        if state:
+            raise ValueError(f"unknown churn state keys {sorted(state)}")
+        self._population = (
+            None if population is None else [int(n) for n in population]
+        )
+        self._active = None if active is None else {int(n) for n in active}
 
 
 def build_policy_pipeline(specs: Mapping[str, Any]) -> list[RoundPolicy]:

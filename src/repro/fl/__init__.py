@@ -42,6 +42,7 @@ from .selection import (
     SelectionResult,
     SelectionStrategy,
 )
+from .serialize import load_weights, save_weights, weights_equal
 from .server import FedAvgServer, federated_average
 from .trainer import FederatedTrainer, RoundRecord, RoundTimer, TrainingHistory
 
@@ -83,4 +84,7 @@ __all__ = [
     "cnn_mnist_factory",
     "cnn_cifar_factory",
     "lstm_factory",
+    "save_weights",
+    "load_weights",
+    "weights_equal",
 ]

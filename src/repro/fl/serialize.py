@@ -1,0 +1,66 @@
+"""Weight (de)serialisation: the durable form of a model's parameters.
+
+Checkpointing a federated run (see :mod:`repro.api.store`) must persist
+the global model's weights exactly — a resumed session continues from the
+same float64 values the uninterrupted run would have held, so the
+histories it produces are bitwise-identical.  The weight interface of
+:class:`repro.fl.nn.model.Sequential` is a flat list of arrays
+(``get_weights`` / ``set_weights``); this module round-trips that list
+through a single ``.npz`` archive, preserving order, dtype and shape.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["save_weights", "load_weights", "weights_equal"]
+
+# Archive keys are "w000", "w001", ...: np.load returns files unordered,
+# so the index rides in the key (zero-padded for lexicographic sanity).
+_KEY = "w{:03d}"
+
+
+def save_weights(path: str | Path, weights: Sequence[np.ndarray]) -> Path:
+    """Write a ``get_weights()`` list to one ``.npz`` archive, atomically.
+
+    The archive is written to a sibling temp file first and moved into
+    place with :func:`os.replace`, so a crash mid-write never leaves a
+    truncated checkpoint behind.
+    """
+    path = Path(path)
+    if len(weights) > 999:
+        raise ValueError("weight lists beyond 999 arrays are not supported")
+    arrays = {_KEY.format(i): np.asarray(w) for i, w in enumerate(weights)}
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_weights(path: str | Path) -> list[np.ndarray]:
+    """Inverse of :func:`save_weights`: the ordered list of weight arrays."""
+    with np.load(Path(path)) as archive:
+        keys = sorted(archive.files)
+        expected = [_KEY.format(i) for i in range(len(keys))]
+        if keys != expected:
+            raise ValueError(
+                f"{path} is not a weight archive (keys {keys[:3]}...)"
+            )
+        return [archive[k] for k in keys]
+
+
+def weights_equal(
+    a: Sequence[np.ndarray], b: Sequence[np.ndarray]
+) -> bool:
+    """Exact (bitwise) equality of two weight lists."""
+    if len(a) != len(b):
+        return False
+    return all(
+        x.shape == y.shape and x.dtype == y.dtype and bool((x == y).all())
+        for x, y in zip(a, b)
+    )

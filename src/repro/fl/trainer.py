@@ -55,6 +55,52 @@ class RoundRecord:
     # Round-policy decisions (see repro.core.policies.PolicyAction).
     policy_actions: list = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """A plain JSON-able dict; exact inverse of :meth:`from_dict`.
+
+        Mapping keys become strings (JSON has no int keys) and numpy
+        scalars collapse to Python numbers, so a dumped record reloads
+        equal to the original — the round-trip the experiment store's
+        manifests rely on.
+        """
+        return {
+            "round_index": int(self.round_index),
+            "accuracy": float(self.accuracy),
+            "loss": float(self.loss),
+            "winner_ids": [int(w) for w in self.winner_ids],
+            "total_payment": float(self.total_payment),
+            "scores": {str(int(k)): float(v) for k, v in self.scores.items()},
+            "winner_ranks": {
+                str(int(k)): int(v) for k, v in self.winner_ranks.items()
+            },
+            "all_scores": [float(s) for s in self.all_scores],
+            "mean_train_loss": float(self.mean_train_loss),
+            "round_seconds": float(self.round_seconds),
+            "payments": {str(int(k)): float(v) for k, v in self.payments.items()},
+            "policy_actions": [a.to_dict() for a in self.policy_actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        from ..core.policies import PolicyAction
+
+        return cls(
+            round_index=int(data["round_index"]),
+            accuracy=float(data["accuracy"]),
+            loss=float(data["loss"]),
+            winner_ids=[int(w) for w in data["winner_ids"]],
+            total_payment=float(data["total_payment"]),
+            scores={int(k): float(v) for k, v in data["scores"].items()},
+            winner_ranks={int(k): int(v) for k, v in data["winner_ranks"].items()},
+            all_scores=[float(s) for s in data["all_scores"]],
+            mean_train_loss=float(data["mean_train_loss"]),
+            round_seconds=float(data["round_seconds"]),
+            payments={int(k): float(v) for k, v in data["payments"].items()},
+            policy_actions=[
+                PolicyAction.from_dict(a) for a in data["policy_actions"]
+            ],
+        )
+
 
 @dataclass
 class TrainingHistory:
@@ -98,6 +144,20 @@ class TrainingHistory:
             for w in r.winner_ids:
                 counts[w] = counts.get(w, 0) + 1
         return counts
+
+    def to_dict(self) -> dict:
+        """JSON-able form (see :meth:`RoundRecord.to_dict`)."""
+        return {
+            "scheme": self.scheme,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingHistory":
+        return cls(
+            scheme=str(data["scheme"]),
+            records=[RoundRecord.from_dict(r) for r in data["records"]],
+        )
 
 
 class FederatedTrainer:

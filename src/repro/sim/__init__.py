@@ -1,18 +1,15 @@
-"""Experiment harness: configs, builders, multi-seed runners, reporting."""
+"""Experiment harness: configs, multi-seed runners, reporting.
+
+The legacy ``ExperimentConfig`` builder shims (``repro.sim.experiment``)
+have been removed — assembly lives in the registry-driven
+:mod:`repro.api` (``Scenario`` + ``FMoreEngine``); this package keeps the
+config presets, the multi-seed averaging helpers, the named-seed-stream
+utilities and the ASCII reporting the benches print.
+"""
 
 from .config import PRESET_NAMES, AuctionConfig, ExperimentConfig, preset
-from .experiment import (
-    SCHEMES,
-    Federation,
-    build_agents,
-    build_federation,
-    build_selection,
-    build_solver,
-    run_comparison,
-    run_scheme,
-)
 from .reporting import ascii_table, fmt, paper_vs_measured, series_table
-from .rng import rng_from, spawn_rngs
+from .rng import rng_from, rng_state, set_rng_state, spawn_rngs
 from .runner import SeriesStats, average_histories, averaged_comparison, run_seeds
 
 __all__ = [
@@ -20,14 +17,6 @@ __all__ = [
     "ExperimentConfig",
     "preset",
     "PRESET_NAMES",
-    "SCHEMES",
-    "Federation",
-    "build_federation",
-    "build_solver",
-    "build_agents",
-    "build_selection",
-    "run_scheme",
-    "run_comparison",
     "SeriesStats",
     "average_histories",
     "run_seeds",
@@ -38,4 +27,6 @@ __all__ = [
     "fmt",
     "rng_from",
     "spawn_rngs",
+    "rng_state",
+    "set_rng_state",
 ]

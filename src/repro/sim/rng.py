@@ -9,9 +9,11 @@ exactly this construction.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
-__all__ = ["spawn_rngs", "rng_from"]
+__all__ = ["spawn_rngs", "rng_from", "rng_state", "set_rng_state"]
 
 
 def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
@@ -27,3 +29,37 @@ def rng_from(seed: int, stream: str) -> np.random.Generator:
     h = np.frombuffer(stream.encode("utf-8"), dtype=np.uint8)
     entropy = [int(seed)] + h.tolist()
     return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def rng_state(rng: np.random.Generator) -> dict[str, Any]:
+    """A JSON-able snapshot of a generator's exact position in its stream.
+
+    The bit-generator state dict contains only strings and (arbitrary
+    precision) integers, so it survives a JSON round-trip unchanged;
+    :func:`set_rng_state` restores it bit-for-bit — the foundation of the
+    checkpoint/resume guarantee in :mod:`repro.api.store`.
+    """
+    return _plain(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: Mapping[str, Any]) -> None:
+    """Install a :func:`rng_state` snapshot (the generator types must match)."""
+    current = rng.bit_generator.state.get("bit_generator")
+    expected = state.get("bit_generator")
+    if expected != current:
+        raise ValueError(
+            f"rng state is for bit generator {expected!r}, "
+            f"but this generator is {current!r}"
+        )
+    rng.bit_generator.state = _plain(state)
+
+
+def _plain(value: Any) -> Any:
+    """Recursively coerce numpy scalars to Python ints (JSON equivalence)."""
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [_plain(v) for v in value]
+    return value

@@ -61,6 +61,7 @@ def run_seeds(
     executor: str = "serial",
     max_workers: int | None = None,
     policies: dict | None = None,
+    store=None,
 ) -> dict[str, list[TrainingHistory]]:
     """Run all schemes across seeds, grouped by scheme.
 
@@ -71,7 +72,11 @@ def run_seeds(
     ``(scheme, seed)`` cells are embarrassingly parallel, and every
     executor returns bitwise-identical histories.  ``policies`` (a
     Scenario round-policy spec, see :mod:`repro.core.policies`) installs a
-    per-round policy pipeline on the auction schemes.
+    per-round policy pipeline on the auction schemes.  ``store`` (an
+    :class:`~repro.api.ExperimentStore` or root path) makes the sweep
+    durable and incremental — completed ``(scheme, seed)`` cells are
+    loaded from their manifests instead of re-run, so growing ``seeds``
+    only computes the new cells.
     """
     engine = FMoreEngine(timer=timer)
     scenario = Scenario.from_config(cfg, schemes=tuple(schemes), seeds=tuple(seeds))
@@ -80,7 +85,7 @@ def run_seeds(
     )
     if policies is not None:
         scenario = scenario.with_(policies=policies)
-    return engine.run(scenario).histories
+    return engine.run(scenario, store=store).histories
 
 
 def averaged_comparison(

@@ -207,18 +207,19 @@ def smoke_scenario():
 
 
 class TestEngine:
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
-    def test_engine_reproduces_legacy_run_comparison(self, smoke_scenario):
-        """Acceptance: engine histories == legacy histories, exactly."""
-        from repro.sim import preset, run_comparison
+    def test_engine_matches_run_seeds_surface(self, smoke_scenario):
+        """The config-based multi-seed runner is a consumer of the engine."""
+        from repro.sim import preset
+        from repro.sim.runner import run_seeds
 
         result = FMoreEngine().run(smoke_scenario)
-        legacy = run_comparison(
-            preset("smoke", "mnist_o"), ("FMore", "RandFL", "FixFL"), seed=0
+        grouped = run_seeds(
+            preset("smoke", "mnist_o"), ("FMore", "RandFL", "FixFL"), (0,)
         )
-        assert set(legacy) == set(smoke_scenario.schemes)
-        for scheme, history in legacy.items():
+        assert set(grouped) == set(smoke_scenario.schemes)
+        for scheme, histories in grouped.items():
             mine = result.history(scheme)
+            history = histories[0]
             assert mine.scheme == history.scheme
             assert mine.accuracies == history.accuracies
             assert mine.losses == history.losses

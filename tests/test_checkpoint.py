@@ -1,0 +1,250 @@
+"""Checkpoint/resume: snapshots restore bitwise-identically.
+
+The contract under test (ISSUE 4 acceptance): snapshot a session at round
+``r``, resume it — in the same process, through a store round-trip, or in
+a worker process — and the completed history (records, payments, policy
+actions) equals the uninterrupted session's *exactly*.  Both the paper
+preset's simulation game (with a churn + audit + psi-schedule pipeline)
+and the Section V-C cluster testbed (with closed-loop guidance) are
+pinned, under the serial and the process executor.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.api import (
+    ExperimentStore,
+    FMoreEngine,
+    IncompleteRunError,
+    Scenario,
+    StoreError,
+)
+
+PAPER_POLICIES = {
+    "churn": {"departure_prob": 0.25, "arrival_prob": 0.6},
+    "audit_blacklist": {
+        "defect_fraction": 0.3,
+        "shortfall": 0.5,
+        "strikes_to_ban": 1,
+    },
+    "selection": {
+        "name": "per_node_psi",
+        "schedule": "geometric",
+        "psi0": 0.9,
+        "decay": 0.9,
+    },
+}
+
+# Guidance retunes every 2 rounds over 3, so a snapshot after round 1
+# carries a *partially filled* observation window — the restore must
+# preserve it for the round-2 alpha update to come out identical.
+CLUSTER_POLICIES = {"guidance": {"target_mix": [2.0, 1.0, 1.0], "every": 2}}
+
+
+def _paper_scenario(**overrides):
+    """The paper preset's component mix at test scale, with policies."""
+    defaults = dict(
+        n_clients=10,
+        k_winners=3,
+        n_rounds=4,
+        test_per_class=10,
+        size_range=(60, 300),
+        grid_size=33,
+        model_width=0.12,
+        image_size=14,
+        batch_size=16,
+        policies=PAPER_POLICIES,
+    )
+    return Scenario.from_preset(
+        "paper",
+        "mnist_o",
+        schemes=("FMore", "RandFL"),
+        seeds=(0,),
+        **{**defaults, **overrides},
+    )
+
+
+def _cluster_scenario(**overrides):
+    return Scenario.from_preset(
+        "cluster_cifar10",
+        seeds=(0,),
+        n_clients=8,
+        k_winners=3,
+        n_rounds=3,
+        test_per_class=8,
+        size_range=(60, 240),
+        model_width=0.15,
+        grid_size=17,
+        policies=CLUSTER_POLICIES,
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_reference():
+    scenario = _paper_scenario()
+    return scenario, FMoreEngine().run(scenario)
+
+
+@pytest.fixture(scope="module")
+def cluster_reference():
+    scenario = _cluster_scenario()
+    return scenario, FMoreEngine().run(scenario)
+
+
+@pytest.fixture(scope="module")
+def interrupted_store(tmp_path_factory, paper_reference):
+    """A store left behind by a 'crash' after round 2 of every cell."""
+    scenario, _ = paper_reference
+    root = tmp_path_factory.mktemp("interrupted")
+    with pytest.raises(IncompleteRunError) as excinfo:
+        FMoreEngine().run(
+            scenario, store=root, checkpoint_every=1, stop_after=2
+        )
+    assert sorted(excinfo.value.cells) == [("FMore", 0), ("RandFL", 0)]
+    return root
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("scheme", ["FMore", "RandFL"])
+    def test_paper_preset_bitwise(self, scheme, paper_reference):
+        scenario, reference = paper_reference
+        engine = FMoreEngine()
+        session = engine.session(scenario, scheme, 0)
+        next(session)
+        next(session)
+        checkpoint = session.snapshot()
+        assert checkpoint.round_index == 2
+        resumed = FMoreEngine().resume(checkpoint).run()
+        assert resumed == reference.history(scheme)
+
+    def test_cluster_preset_bitwise_mid_guidance_window(self, cluster_reference):
+        scenario, reference = cluster_reference
+        engine = FMoreEngine()
+        session = engine.session(scenario, "FMore", 0)
+        next(session)  # guidance window holds round 1; update due round 2
+        checkpoint = session.snapshot()
+        resumed = FMoreEngine().resume(checkpoint).run()
+        assert resumed == reference.history("FMore")
+        kinds = [
+            a.kind for r in resumed.records for a in r.policy_actions
+        ]
+        assert "alpha_update" in kinds  # the closed loop actually ran
+
+    def test_checkpoint_survives_the_store(self, tmp_path, paper_reference):
+        """Disk round-trip (JSON + npz) loses nothing: still bitwise."""
+        scenario, reference = paper_reference
+        session = FMoreEngine().session(scenario, "FMore", 0)
+        next(session)
+        store = ExperimentStore(tmp_path)
+        store.save_checkpoint(session.snapshot())
+        loaded = store.load_checkpoint(scenario, "FMore", 0)
+        assert loaded is not None and loaded.round_index == 1
+        resumed = FMoreEngine().resume(loaded).run()
+        assert resumed == reference.history("FMore")
+
+    def test_snapshot_then_continue_does_not_disturb_the_donor(
+        self, paper_reference
+    ):
+        """Taking a snapshot is observation, not interference."""
+        scenario, reference = paper_reference
+        session = FMoreEngine().session(scenario, "FMore", 0)
+        next(session)
+        session.snapshot()
+        assert session.run() == reference.history("FMore")
+
+
+class TestEngineResumeThroughStore:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_resumed_run_matches_uninterrupted(
+        self, executor, tmp_path, interrupted_store, paper_reference
+    ):
+        scenario, reference = paper_reference
+        root = tmp_path / "store"
+        shutil.copytree(interrupted_store, root)
+        plan = scenario.with_(
+            execution={"executor": executor, "max_workers": 2}
+        )
+        resumed = FMoreEngine().run(plan, store=root, resume=True)
+        assert resumed.histories == reference.histories
+        # The finished cells are durable manifests; checkpoints are gone.
+        store = ExperimentStore(root)
+        for scheme in scenario.schemes:
+            assert store.has_cell(scenario, scheme, 0)
+            assert store.load_checkpoint(scenario, scheme, 0) is None
+
+    def test_cluster_resume_under_process_executor(
+        self, tmp_path, cluster_reference
+    ):
+        scenario, reference = cluster_reference
+        root = tmp_path / "store"
+        with pytest.raises(IncompleteRunError):
+            FMoreEngine().run(scenario, store=root, stop_after=1)
+        plan = scenario.with_(
+            execution={"executor": "process", "max_workers": 2}
+        )
+        resumed = FMoreEngine().run(plan, store=root, resume=True)
+        assert resumed.histories == reference.histories
+
+    def test_manifests_equal_uninterrupted_store_bytes(
+        self, tmp_path, interrupted_store, paper_reference
+    ):
+        """The resume-smoke CI contract: byte-identical manifests."""
+        scenario, reference = paper_reference
+        root = tmp_path / "resumed"
+        shutil.copytree(interrupted_store, root)
+        FMoreEngine().run(scenario, store=root, resume=True)
+        pristine = reference.save(ExperimentStore(tmp_path / "pristine"))
+        store = ExperimentStore(root)
+        for scheme in scenario.schemes:
+            a = store.manifest_path(scenario, scheme, 0).read_bytes()
+            b = pristine.manifest_path(scenario, scheme, 0).read_bytes()
+            assert a == b
+
+
+class TestRestoreValidation:
+    def test_restore_needs_fresh_session(self, paper_reference):
+        scenario, _ = paper_reference
+        engine = FMoreEngine()
+        session = engine.session(scenario, "FMore", 0)
+        next(session)
+        checkpoint = session.snapshot()
+        with pytest.raises(ValueError, match="fresh session"):
+            session.restore(checkpoint)
+
+    def test_wrong_cell_rejected(self, paper_reference):
+        scenario, _ = paper_reference
+        engine = FMoreEngine()
+        session = engine.session(scenario, "FMore", 0)
+        next(session)
+        checkpoint = session.snapshot()
+        other = engine.session(scenario, "RandFL", 0)
+        with pytest.raises(StoreError, match="addresses cell"):
+            other.restore(checkpoint)
+
+    def test_wrong_scenario_rejected(self, paper_reference):
+        scenario, _ = paper_reference
+        session = FMoreEngine().session(scenario, "FMore", 0)
+        next(session)
+        checkpoint = session.snapshot()
+        longer = _paper_scenario(n_rounds=6)
+        fresh = FMoreEngine().session(longer, "FMore", 0)
+        with pytest.raises(StoreError, match="would not reproduce"):
+            fresh.restore(checkpoint)
+
+    def test_corrupt_embedded_scenario_rejected(self, paper_reference):
+        scenario, _ = paper_reference
+        session = FMoreEngine().session(scenario, "FMore", 0)
+        next(session)
+        checkpoint = session.snapshot()
+        checkpoint.scenario["n_rounds"] = 99  # no longer matches the hash
+        with pytest.raises(StoreError, match="corrupt"):
+            FMoreEngine().resume(checkpoint)
+
+    def test_stop_after_requires_store(self, paper_reference):
+        scenario, _ = paper_reference
+        with pytest.raises(ValueError, match="store"):
+            FMoreEngine().run(scenario, stop_after=1)

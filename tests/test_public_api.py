@@ -31,6 +31,13 @@ class TestPackageSurface:
             "Session",
             "RoundEvent",
             "make_session",
+            "ExperimentStore",
+            "Checkpoint",
+            "MetricsFrame",
+            "scenario_hash",
+            "StoreError",
+            "StoreMismatchError",
+            "IncompleteRunError",
         ],
     )
     def test_api_exports(self, symbol):
@@ -113,11 +120,19 @@ class TestPackageSurface:
 
     @pytest.mark.parametrize(
         "symbol",
-        ["preset", "run_comparison", "run_scheme", "build_solver", "ExperimentConfig"],
+        ["preset", "ExperimentConfig", "run_seeds", "average_histories", "rng_from"],
     )
     def test_sim_exports(self, symbol):
         sim = importlib.import_module("repro.sim")
         assert hasattr(sim, symbol)
+
+    def test_experiment_shims_removed(self):
+        """The deprecated builder shims are gone (migrate to repro.api)."""
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.sim.experiment")
+        sim = importlib.import_module("repro.sim")
+        for legacy in ("run_comparison", "run_scheme", "build_federation"):
+            assert not hasattr(sim, legacy)
 
     @pytest.mark.parametrize(
         "symbol",
@@ -173,8 +188,10 @@ class TestDocstrings:
             "repro.mec.network",
             "repro.mec.timing",
             "repro.mec.cluster",
+            "repro.api.store",
+            "repro.api.metrics",
+            "repro.fl.serialize",
             "repro.sim.config",
-            "repro.sim.experiment",
             "repro.sim.cluster_experiment",
             "repro.sim.runner",
             "repro.sim.reporting",
