@@ -18,8 +18,9 @@ informational):
   with solver-backed agents.  Pure NumPy — the steadiest end-to-end
   protocol timing we can gate.
 * **sweep** — one tiny multi-seed scenario run through each registered
-  executor (serial/thread/process), recording wall-clock seconds and
-  verifying the histories agree.
+  executor (serial/thread/process/distributed — the latter against a
+  throwaway store, timing the full coordinator + spawned-worker path),
+  recording wall-clock seconds and verifying the histories agree.
 
 Run standalone (writes ``BENCH_grid_build.json`` for the CI artifact)::
 
@@ -35,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -203,10 +205,24 @@ def time_sweeps(quick: bool = True) -> dict:
     # Serial first: it is the bitwise reference the others must match.
     names = ["serial"] + [n for n in EXECUTORS.names() if n != "serial"]
     for name in names:
-        plan = scenario.with_(execution={"executor": name, "max_workers": 2})
-        t0 = time.perf_counter()
-        result = FMoreEngine().run(plan)
-        seconds = time.perf_counter() - t0
+        execution: dict = {"executor": name, "max_workers": 2}
+        run_kwargs: dict = {}
+        tmp_store = None
+        if name == "distributed":
+            # The distributed executor coordinates through a store; give
+            # it a throwaway one so the timing covers the whole
+            # enqueue -> spawn workers -> poll manifests path.
+            execution["poll_interval"] = 0.1
+            tmp_store = tempfile.TemporaryDirectory(prefix="bench-dist-store-")
+            run_kwargs["store"] = tmp_store.name
+        plan = scenario.with_(execution=execution)
+        try:
+            t0 = time.perf_counter()
+            result = FMoreEngine().run(plan, **run_kwargs)
+            seconds = time.perf_counter() - t0
+        finally:
+            if tmp_store is not None:
+                tmp_store.cleanup()
         flat = {
             scheme: [record for h in hists for record in h.records]
             for scheme, hists in result.histories.items()
@@ -258,7 +274,7 @@ def test_grid_build_batch_5x_and_bitwise():
 
 def test_sweep_executors_agree():
     sweep = time_sweeps(quick=True)
-    assert set(sweep) >= {"serial", "thread", "process"}
+    assert set(sweep) >= {"serial", "thread", "process", "distributed"}
     for name, row in sweep.items():
         assert row["matches_serial"], f"{name} diverged from serial"
 

@@ -23,6 +23,16 @@ Usage::
     python -m repro report --store runs/             # scheme comparison tables
     python -m repro report --store runs/ --csv metrics.csv   # metrics frame
 
+    # Distributed sweeps: cells fan out over a shared store (docs/deployment.md).
+    python -m repro run --preset bench --set seeds=0,1,2,3 \
+        --executor distributed --parallel 4 --store runs/   # spawn 4 local workers
+    python -m repro worker --store runs/             # worker on any machine
+    python -m repro scenario --preset bench --emit-jobs jobs/  # SLURM-style scripts
+
+    # Registry reference: every scenario-addressable component spec.
+    python -m repro registry                         # plain summary
+    python -m repro registry --markdown              # docs/scenario_reference.md
+
     # Round-policy pipeline: per-round behaviors as --policy stage=spec.
     python -m repro run --preset smoke \
         --policy 'selection={"name":"per_node_psi","schedule":"geometric","psi0":0.9,"decay":0.95}'
@@ -60,6 +70,8 @@ COMMANDS = (
     "run",
     "scenario",
     "report",
+    "worker",
+    "registry",
 )
 
 # Exit status of an intentionally-interrupted `run --stop-after N`: the
@@ -183,8 +195,14 @@ def _load_scenario(args) -> "object":
                 execution["executor"] = args.executor
             if args.parallel is not None:
                 execution["max_workers"] = args.parallel
-                if args.executor is None:
+                if args.executor is None and execution["executor"] != "distributed":
                     execution["executor"] = "process"
+            if execution["executor"] != "distributed":
+                # The distributed-only coordination knobs (filled in by
+                # canonicalisation) must not survive a switch to a pool
+                # executor — Scenario validation rejects them there.
+                execution.pop("lease_seconds", None)
+                execution.pop("poll_interval", None)
             scenario = scenario.with_(execution=execution)
     except (ValueError, TypeError, json.JSONDecodeError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -192,8 +210,60 @@ def _load_scenario(args) -> "object":
 
 
 def _cmd_scenario(args) -> int:
-    """Emit the (validated) scenario JSON instead of running it."""
-    print(_load_scenario(args).to_json())
+    """Emit the (validated) scenario JSON — or batch job scripts — for it."""
+    scenario = _load_scenario(args)
+    if args.emit_jobs is not None:
+        from .api import emit_job_scripts
+
+        written = emit_job_scripts(scenario, args.emit_jobs)
+        n_cells = len(scenario.schemes) * len(scenario.seeds)
+        print(
+            f"wrote {len(written)} file(s) for {n_cells} (scheme, seed) "
+            f"cell(s) under {args.emit_jobs}:"
+        )
+        for path in written:
+            print(f"  {path}")
+        print(
+            "\nsubmit with: STORE=/shared/store sbatch "
+            f"{Path(args.emit_jobs) / 'submit_array.sh'}"
+        )
+        return 0
+    print(scenario.to_json())
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """Claim and run queued cells from a shared experiment store."""
+    from .api import StoreMismatchError, run_worker
+
+    if args.store is None:
+        raise SystemExit("error: worker needs --store DIR (the shared store)")
+    label = args.worker_id
+    try:
+        completed = run_worker(
+            args.store,
+            poll_interval=args.poll_interval,
+            max_cells=args.max_cells,
+            exit_when_idle=args.exit_when_idle,
+            worker_id=label,
+        )
+    except StoreMismatchError as exc:
+        raise SystemExit(f"error: {exc}")
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("\nworker interrupted; claimed cells will be re-queued by lease")
+        return 1
+    print(f"worker{f' {label}' if label else ''}: completed {completed} cell(s)")
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    """Print the registered-component reference (see docs/scenario_reference.md)."""
+    from .api.reference import registry_reference_markdown, registry_summary
+
+    if args.markdown:
+        print(registry_reference_markdown(), end="")
+    else:
+        print(registry_summary())
     return 0
 
 
@@ -243,11 +313,11 @@ def _cmd_run(args) -> int:
     print(ascii_table(["scheme", "final acc", "payment"], rows))
     executor = scenario.execution["executor"]
     workers = scenario.execution["max_workers"]
-    if executor == "process":
+    if executor in ("process", "distributed"):
         # Solver builds happen inside the worker processes (one cache
         # each); the parent engine's counters would misleadingly read 0.
         print(
-            f"\nsolver cache: per-worker [process executor"
+            f"\nsolver cache: per-worker [{executor} executor"
             + (f", {workers} workers]" if workers else "]")
         )
     else:
@@ -496,8 +566,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--executor",
         default=None,
-        choices=("serial", "thread", "process"),
-        help="executor family for `run` (default: the scenario's execution spec)",
+        choices=("serial", "thread", "process", "distributed"),
+        help="executor family for `run` (default: the scenario's execution "
+        "spec); `distributed` coordinates cells through --store and needs "
+        "workers (spawned via --parallel N, or external `repro worker`s)",
     )
     parser.add_argument(
         "--store",
@@ -551,6 +623,48 @@ def main(argv: list[str] | None = None) -> int:
         help="with `report`: also write the scenario's per-round metrics "
         "frame (seed-averaged accuracy/time/policy trajectories) as CSV",
     )
+    parser.add_argument(
+        "--emit-jobs",
+        default=None,
+        metavar="DIR",
+        help="with `scenario`: write SLURM-style per-cell job scripts plus "
+        "an array wrapper under DIR instead of printing the spec "
+        "(each script runs one (scheme, seed) cell against $STORE)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="with `worker`: idle sleep between job-queue scans (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with `worker`: exit after completing N cells (lifetime bound "
+        "for time-sliced batch jobs)",
+    )
+    parser.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="with `worker`: exit when no cell is claimable instead of "
+        "polling for new jobs",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="with `worker`: stable label for this worker's lock files "
+        "(default: host-pid-nonce)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with `registry`: emit the full markdown reference page "
+        "(the committed docs/scenario_reference.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -577,6 +691,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     raise AssertionError("unreachable")
 
 

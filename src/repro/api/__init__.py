@@ -29,6 +29,21 @@ checkpoint (``session.snapshot()``) and resume
 ``result.metrics()`` returns a :class:`MetricsFrame` of seed-averaged
 training and policy trajectories (see :mod:`repro.api.store` and
 :mod:`repro.api.metrics`).
+
+Sweeps also scale past one machine: the ``"distributed"`` executor
+(:mod:`repro.api.distributed`) turns the store into a shared job bus —
+the coordinator enqueues per-cell job specs, ``python -m repro worker``
+processes on any machine sharing the filesystem claim them with
+lease-guarded lock files (work-stealing, crash re-queue), and the
+assembled ``RunResult`` is bitwise-identical to a serial run.  For batch
+clusters without a resident coordinator, ``emit_job_scripts`` (CLI:
+``python -m repro scenario --emit-jobs DIR``) writes SLURM-style
+per-cell scripts speaking the same store protocol.
+
+See ``docs/ARCHITECTURE.md`` for the layer map, ``docs/deployment.md``
+for the distributed cookbook, and ``docs/scenario_reference.md`` for
+every registered spec name (regenerable via ``python -m repro registry
+--markdown``).
 """
 
 from .engine import (
@@ -43,6 +58,13 @@ from .engine import (
     build_solver,
     make_session,
     run_scheme,
+)
+from .distributed import (
+    DistributedExecutor,
+    Job,
+    JobQueue,
+    emit_job_scripts,
+    run_worker,
 )
 from .executor import (
     EXECUTORS,
@@ -82,6 +104,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "JobQueue",
+    "Job",
+    "run_worker",
+    "emit_job_scripts",
     "ExperimentStore",
     "Checkpoint",
     "StoreError",

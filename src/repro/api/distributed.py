@@ -1,0 +1,862 @@
+"""Distributed sweeps: a work-stealing job queue over the experiment store.
+
+The ``(scheme, seed)`` cells of a :class:`~repro.api.scenario.Scenario`
+plan are pure functions of ``(scenario, scheme, seed)`` — every cell
+derives its randomness from named seed streams, and a completed cell is
+one content-addressed manifest in an
+:class:`~repro.api.store.ExperimentStore`.  That makes the store itself a
+results bus: this module adds the matching *job* bus, so a sweep can fan
+out across processes and machines that share nothing but a filesystem.
+
+Three cooperating roles, all socket-free:
+
+* **Coordinator** — the registry-registered ``"distributed"``
+  :class:`~repro.api.executor.Executor`.  ``FMoreEngine.run`` hands it the
+  pending cells; it enqueues one *job spec* per cell (the full scenario
+  JSON plus the cell address) under ``<store>/jobs/<scenario-hash>/``,
+  optionally spawns local worker processes, and then just polls the store
+  until every cell's manifest exists.  Worker death is handled by *lease
+  timeouts*: a claimed job whose lock stops heartbeating is re-queued
+  (its lock reclaimed) so surviving workers steal the cell.
+* **Workers** — ``python -m repro worker --store DIR`` (or
+  :func:`run_worker`).  Each worker scans the job directory, claims cells
+  with atomic ``O_CREAT | O_EXCL`` lock files (work-stealing: whoever
+  creates the lock first owns the cell), runs the cell through the
+  ordinary engine session path, heartbeats its lock every round, writes
+  the cell's manifest and removes the job.  Workers are interchangeable
+  and stateless between cells — point any number of them, on any machine,
+  at the shared store.
+* **Batch clusters** — :func:`emit_job_scripts` (CLI: ``python -m repro
+  scenario --emit-jobs DIR``) writes one SLURM-style shell script per
+  cell plus an array-job wrapper.  Each script runs its single cell as a
+  plain serial ``python -m repro run`` against ``$STORE``; because the
+  manifest address excludes the run plan, all cells land under one
+  scenario hash and the full ``RunResult`` assembles from any machine —
+  the same store protocol, with the scheduler playing coordinator.
+
+Determinism contract: however a cell is executed — serially, stolen after
+a worker crash, restarted from scratch or resumed from a checkpoint — its
+manifest is byte-identical to the serial executor's, because the engine
+path and the RNG streams are the same (pinned in
+``tests/test_distributed.py``).  Duplicate execution (two workers racing
+one cell across a lease expiry) is therefore harmless: manifest writes
+are atomic and last-writer-wins over identical bytes.
+
+Queue layout under the store root::
+
+    jobs/<hash>/<scheme>-seed<seed>.json   # job spec (removed when done)
+    jobs/<hash>/<scheme>-seed<seed>.lock   # claim: owner + heartbeat
+
+The lock protocol is plain-POSIX: claims use ``O_CREAT | O_EXCL``
+(atomic on local filesystems and on NFSv3+), heartbeats rewrite the lock
+via temp-file + ``os.replace``, and stale-lock takeover renames the
+expired lock aside first — ``os.rename`` succeeds for exactly one
+stealer, so a cell is never reclaimed twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import stat
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..core.registry import EXECUTORS
+from .executor import Executor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> scenario)
+    from .scenario import Scenario
+    from .store import ExperimentStore
+
+__all__ = [
+    "DistributedExecutor",
+    "JobQueue",
+    "Job",
+    "run_worker",
+    "emit_job_scripts",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_POLL_INTERVAL",
+]
+
+JOB_FORMAT = 1
+
+#: How long a claimed cell may go without a heartbeat before any other
+#: worker (or the coordinator) may re-queue it.  Workers heartbeat once
+#: per protocol round, so the lease must comfortably exceed the slowest
+#: round — see docs/deployment.md for sizing guidance.
+DEFAULT_LEASE_SECONDS = 300.0
+
+#: How often idle workers re-scan the queue and the coordinator re-polls
+#: the store for finished manifests.
+DEFAULT_POLL_INTERVAL = 1.0
+
+
+def _now() -> float:
+    return time.time()
+
+
+def _worker_label(worker_id: str | None = None) -> str:
+    """A globally-unique worker identity (host + pid + nonce by default)."""
+    if worker_id:
+        return str(worker_id)
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+# ----------------------------------------------------------------------
+# Job specs and the filesystem queue
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One claimed ``(scheme, seed)`` cell, as read from its job spec.
+
+    Carries the full scenario dict, so a worker needs nothing but the
+    shared store to run the cell; ``worker`` is the claiming worker's
+    label (set by :meth:`JobQueue.claim`).
+    """
+
+    path: Path
+    lock_path: Path
+    scenario: dict
+    scenario_hash: str
+    scheme: str
+    seed: int
+    resume: bool
+    checkpoint_every: int | None
+    lease_seconds: float
+    worker: str | None = None
+
+    @property
+    def cell(self) -> tuple[str, int]:
+        return (self.scheme, self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job({self.scheme!r}, seed={self.seed}, "
+            f"hash={self.scenario_hash[:12]}…, worker={self.worker!r})"
+        )
+
+
+class JobQueue:
+    """The shared-filesystem job queue inside an experiment store.
+
+    Every operation is a plain file operation under
+    ``<store>/jobs/<scenario-hash>/`` — no sockets, no daemons — so any
+    process that can see the store can enqueue, claim, steal and complete
+    cells.  See the module docstring for the lock protocol.
+    """
+
+    def __init__(self, store: "ExperimentStore | str | Path"):
+        from .store import ExperimentStore
+
+        self.store = ExperimentStore.coerce(store)
+
+    # -- paths ----------------------------------------------------------
+    def jobs_dir(self, scenario_hash: str) -> Path:
+        return self.store.root / "jobs" / scenario_hash
+
+    def job_path(self, scenario_hash: str, scheme: str, seed: int) -> Path:
+        return self.jobs_dir(scenario_hash) / f"{scheme}-seed{int(seed)}.json"
+
+    @staticmethod
+    def lock_path_for(job_path: Path) -> Path:
+        return job_path.with_suffix(".lock")
+
+    # -- enqueue --------------------------------------------------------
+    def enqueue(
+        self,
+        scenario: "Scenario",
+        cells: Sequence[tuple[str, int]],
+        *,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> list[Path]:
+        """Write one job spec per cell; returns the paths actually written.
+
+        Registers the scenario in the store first (so workers can verify
+        they were pointed at the right store), then skips cells whose
+        manifest already exists and cells already queued — re-enqueueing
+        a partially-finished plan is idempotent.
+        """
+        from .store import _write_json
+
+        h = self.store.register_scenario(scenario)
+        spec = scenario.to_dict()
+        written: list[Path] = []
+        for scheme, seed in cells:
+            if self.store.has_cell(h, scheme, seed):
+                continue
+            path = self.job_path(h, scheme, seed)
+            if path.exists():
+                continue
+            _write_json(
+                path,
+                {
+                    "format": JOB_FORMAT,
+                    "scenario": spec,
+                    "scenario_hash": h,
+                    "scheme": str(scheme),
+                    "seed": int(seed),
+                    "resume": bool(resume),
+                    "checkpoint_every": (
+                        None if checkpoint_every is None else int(checkpoint_every)
+                    ),
+                    "lease_seconds": float(lease_seconds),
+                },
+            )
+            written.append(path)
+        return written
+
+    # -- inspection -----------------------------------------------------
+    def _job_paths(self) -> list[Path]:
+        root = self.store.root / "jobs"
+        if not root.is_dir():
+            return []
+        out: list[Path] = []
+        for hash_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            out.extend(sorted(hash_dir.glob("*.json")))
+        return out
+
+    def pending(self) -> list[tuple[str, str, int]]:
+        """Queued ``(hash, scheme, seed)`` cells (claimed or not)."""
+        out = []
+        for path in self._job_paths():
+            data = self._read_job(path)
+            if data is not None:
+                out.append(
+                    (str(data["scenario_hash"]), str(data["scheme"]), int(data["seed"]))
+                )
+        return out
+
+    def unclaimed(self) -> list[Path]:
+        """Job specs not currently covered by a live (non-stale) lock."""
+        out = []
+        for path in self._job_paths():
+            lock = self.lock_path_for(path)
+            if not lock.exists() or self._is_stale(lock):
+                out.append(path)
+        return out
+
+    # -- claiming (work-stealing) ---------------------------------------
+    def claim(self, worker_id: str | None = None) -> Job | None:
+        """Claim the first available cell, or ``None`` when none is.
+
+        Scans job specs in sorted order; a cell is available when its
+        lock does not exist (never claimed, or released) or exists but
+        has outlived its lease (the previous worker died — the lock is
+        atomically renamed aside and re-created, i.e. the cell is
+        *stolen*).  Cells whose manifest already landed are garbage
+        collected on the way.
+
+        Raises :class:`~repro.api.store.StoreMismatchError` when a job
+        spec addresses a scenario this store has never registered — the
+        signature of a worker pointed at the wrong ``--store`` (or of job
+        files copied between stores).
+        """
+        from .store import StoreMismatchError
+
+        label = _worker_label(worker_id)
+        known_hashes: set[str] = set()  # scenario_path.exists() memoised
+        for path in self._job_paths():
+            data = self._read_job(path)
+            if data is None:
+                continue
+            h = str(data["scenario_hash"])
+            scheme, seed = str(data["scheme"]), int(data["seed"])
+            if h not in known_hashes:
+                if self.store.scenario_path(h).exists():
+                    known_hashes.add(h)
+                else:
+                    # Only now pay for loading the specs — purely to name
+                    # the stored scenarios in the error (an empty registry
+                    # means a fresh store: nothing to mismatch against).
+                    stored = self.store.scenarios()
+                    if stored:
+                        listing = ", ".join(
+                            f"{k[:12]}… ({v.get('name', '?')})"
+                            for k, v in stored.items()
+                        )
+                        raise StoreMismatchError(
+                            f"job {path.name} addresses scenario {h[:12]}…, "
+                            f"which store {self.store.root} has never "
+                            f"registered (stored: {listing}); this worker is "
+                            "pointed at a foreign store — check --store"
+                        )
+                    known_hashes.add(h)
+            if self.store.has_cell(h, scheme, seed):
+                # Another worker finished it but died before cleaning up.
+                self._remove(path)
+                self._remove(self.lock_path_for(path))
+                continue
+            lock = self.lock_path_for(path)
+            lease = float(data.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+            if self._acquire(lock, label, lease):
+                return Job(
+                    path=path,
+                    lock_path=lock,
+                    scenario=dict(data["scenario"]),
+                    scenario_hash=h,
+                    scheme=scheme,
+                    seed=seed,
+                    resume=bool(data.get("resume", False)),
+                    checkpoint_every=data.get("checkpoint_every"),
+                    lease_seconds=lease,
+                    worker=label,
+                )
+        return None
+
+    def _acquire(self, lock: Path, label: str, lease_seconds: float) -> bool:
+        """Try to own ``lock``; steals it first if its lease expired."""
+        payload = self._lock_payload(label, lease_seconds)
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if not self._is_stale(lock) or not self._steal(lock):
+                return False
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        return True
+
+    def _steal(self, lock: Path) -> bool:
+        """Remove an expired lock race-safely; ``True`` for the one winner.
+
+        Takeover renames the lock aside first — ``os.rename`` succeeds
+        for exactly one stealer — so a cell is never reclaimed twice; the
+        loser simply moves on (someone else owns the steal).
+        """
+        aside = lock.with_name(f"{lock.name}.stale-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(lock, aside)
+        except FileNotFoundError:
+            return False
+        self._remove(aside)
+        return True
+
+    @staticmethod
+    def _lock_payload(label: str, lease_seconds: float) -> str:
+        now = _now()
+        return json.dumps(
+            {
+                "worker": label,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "claimed_at": now,
+                "heartbeat": now,
+                "lease_seconds": float(lease_seconds),
+            },
+            sort_keys=True,
+        )
+
+    def _is_stale(self, lock: Path) -> bool:
+        data = self._read_lock(lock)
+        if data is None:
+            # Unreadable: either a racing heartbeat replace (momentary)
+            # or a worker killed between creating the lock and writing
+            # its payload.  Fall back to file age under the default
+            # lease so a payload-less lock cannot wedge its cell forever.
+            try:
+                mtime = lock.stat().st_mtime
+            except OSError:
+                return False  # vanished under us: nothing to steal
+            return _now() > mtime + DEFAULT_LEASE_SECONDS
+        lease = float(data.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+        return _now() > float(data.get("heartbeat", 0.0)) + lease
+
+    # -- lease maintenance ---------------------------------------------
+    def heartbeat(self, job: Job) -> bool:
+        """Renew ``job``'s lease; ``False`` means the cell was stolen.
+
+        A worker that misses its lease (a long GC pause, a suspended
+        laptop) may find another worker's label in the lock — it must
+        then abandon the cell: the thief owns it now, and the store's
+        atomic, deterministic manifest writes make the duplicate rounds
+        already run harmless.
+        """
+        current = self._read_lock(job.lock_path)
+        if current is None or current.get("worker") != job.worker:
+            return False
+        current["heartbeat"] = _now()
+        tmp = job.lock_path.with_name(job.lock_path.name + ".tmp")
+        tmp.write_text(json.dumps(current, sort_keys=True))
+        os.replace(tmp, job.lock_path)
+        return True
+
+    def release(self, job: Job) -> None:
+        """Give the cell back (job spec stays queued for other workers)."""
+        current = self._read_lock(job.lock_path)
+        if current is not None and current.get("worker") == job.worker:
+            self._remove(job.lock_path)
+
+    def complete(self, job: Job) -> None:
+        """Retire a finished cell: drop its job spec, then its lock."""
+        self._remove(job.path)
+        self._remove(job.lock_path)
+
+    def reclaim_stale(self) -> list[Path]:
+        """Re-queue every lease-expired claim; returns the reclaimed locks.
+
+        Workers steal lazily (at claim time); the coordinator calls this
+        each poll so that a dead worker's cells become claimable even
+        when every surviving worker is busy elsewhere.  Locks whose cell
+        already has a manifest are retired outright.
+        """
+        reclaimed: list[Path] = []
+        root = self.store.root / "jobs"
+        if not root.is_dir():
+            return reclaimed
+        for hash_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for lock in sorted(hash_dir.glob("*.lock")):
+                if not lock.with_suffix(".json").exists():
+                    self._remove(lock)
+                    continue
+                if self._is_stale(lock) and self._steal(lock):
+                    reclaimed.append(lock)
+            # Garbage-collect debris of killed workers: orphaned
+            # heartbeat temp files and steal-aside files older than the
+            # default lease (younger ones may be a live replace mid-race).
+            for junk in sorted(hash_dir.glob("*.lock.tmp")) + sorted(
+                hash_dir.glob("*.lock.stale-*")
+            ):
+                try:
+                    if _now() > junk.stat().st_mtime + DEFAULT_LEASE_SECONDS:
+                        self._remove(junk)
+                except OSError:
+                    pass
+        return reclaimed
+
+    # -- small helpers --------------------------------------------------
+    @staticmethod
+    def _read_job(path: Path) -> dict | None:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # removed or mid-write by a racing worker
+
+    @staticmethod
+    def _read_lock(path: Path) -> dict | None:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobQueue({str(self.store.root)!r})"
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+def run_worker(
+    store: "ExperimentStore | str | Path",
+    *,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_cells: int | None = None,
+    exit_when_idle: bool = False,
+    worker_id: str | None = None,
+    crash_after_claim: bool = False,
+) -> int:
+    """Claim and run queued cells against ``store``; returns cells completed.
+
+    The library form of ``python -m repro worker --store DIR``.  The loop:
+    claim a cell (stealing lease-expired ones), rebuild its scenario from
+    the job spec, run it through the ordinary engine session path with a
+    heartbeat per round, write its content-addressed manifest, retire the
+    job — repeat.  One engine (and thus one equilibrium-solver cache) is
+    shared across all cells this worker runs.
+
+    Parameters
+    ----------
+    poll_interval:
+        Idle sleep between queue scans when no cell is claimable.
+    max_cells:
+        Stop after completing this many cells (``None`` = unbounded) —
+        the batch-cluster-friendly lifetime bound.
+    exit_when_idle:
+        Return instead of sleeping when the queue has nothing claimable
+        (used by coordinator-spawned workers and one-shot scripts).
+    worker_id:
+        Stable label for the lock files; defaults to host-pid-nonce.
+    crash_after_claim:
+        Testing/chaos hook: claim one cell, then return *without running
+        or releasing it* — exactly what a worker killed mid-cell leaves
+        behind (a claimed job whose lock will outlive its lease).
+    """
+    from .engine import FMoreEngine
+    from .store import ExperimentStore
+
+    store = ExperimentStore.coerce(store)
+    queue = JobQueue(store)
+    label = _worker_label(worker_id)
+    engine = FMoreEngine()
+    completed = 0
+    while max_cells is None or completed < max_cells:
+        job = queue.claim(label)
+        if job is None:
+            if exit_when_idle:
+                break
+            time.sleep(poll_interval)
+            continue
+        if crash_after_claim:
+            return completed
+        if _run_job(engine, store, queue, job):
+            completed += 1
+    return completed
+
+
+def _run_job(engine, store: "ExperimentStore", queue: JobQueue, job: Job) -> bool:
+    """Run one claimed cell to completion; ``True`` when its manifest landed.
+
+    With ``job.resume`` the cell continues from its store checkpoint (a
+    previous worker's partial progress) — bitwise-identical to a fresh
+    run by the checkpoint contract; otherwise stolen cells restart from
+    round zero, which is merely slower, never different.  A lost lease
+    aborts the cell mid-run (another worker owns it now); any other
+    failure releases the claim so the cell is immediately re-queued.
+    """
+    from .scenario import Scenario
+
+    scenario = Scenario.from_dict(job.scenario)
+    if store.has_cell(job.scenario_hash, job.scheme, job.seed):
+        queue.complete(job)
+        return False
+    session = engine.session(scenario, job.scheme, job.seed)
+    if job.resume:
+        checkpoint = store.load_checkpoint(job.scenario_hash, job.scheme, job.seed)
+        if checkpoint is not None:
+            session.restore(checkpoint)
+    try:
+        advanced = 0
+        while session.rounds_remaining > 0:
+            next(session)
+            advanced += 1
+            if not queue.heartbeat(job):
+                return False
+            if (
+                job.checkpoint_every
+                and session.rounds_remaining > 0
+                and advanced % int(job.checkpoint_every) == 0
+            ):
+                store.save_checkpoint(session.snapshot())
+    except BaseException:
+        queue.release(job)
+        raise
+    store.save_history(scenario, job.scheme, job.seed, session.history)
+    store.clear_checkpoint(job.scenario_hash, job.scheme, job.seed)
+    queue.complete(job)
+    return True
+
+
+# ----------------------------------------------------------------------
+# The coordinator: a registry-registered executor
+# ----------------------------------------------------------------------
+@EXECUTORS.register("distributed")
+class DistributedExecutor(Executor):
+    """Coordinate cells through a shared store instead of running them.
+
+    Unlike the pool executors this one never calls the work function:
+    it enqueues job specs, optionally spawns ``max_workers`` local worker
+    processes (``python -m repro worker --store DIR --exit-when-idle``),
+    and polls the store until every cell's manifest exists — re-queueing
+    lease-expired claims and respawning crashed local workers along the
+    way.  ``max_workers=0`` spawns nothing: the coordinator only queues
+    and waits, and *external* workers (other machines on the shared
+    filesystem, a SLURM array) do the running.
+
+    Scenario spec::
+
+        {"executor": "distributed", "max_workers": 4,
+         "lease_seconds": 300.0, "poll_interval": 1.0}
+    """
+
+    in_process = False
+    #: Engine capability flag: this executor schedules whole plans through
+    #: an ExperimentStore (``execute_plan``) rather than mapping a
+    #: function over cells.
+    needs_store = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ):
+        if max_workers is not None and int(max_workers) == 0:
+            # Coordinate-only: rely entirely on external workers.
+            self.max_workers = 0
+        else:
+            super().__init__(max_workers)
+        lease_seconds = float(lease_seconds)
+        poll_interval = float(poll_interval)
+        if lease_seconds < 0.0:
+            raise ValueError("lease_seconds must be >= 0")
+        if poll_interval <= 0.0:
+            raise ValueError("poll_interval must be > 0")
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+
+    # The Executor ABC's map contract cannot express a coordinator (the
+    # work function never crosses the process/machine boundary).
+    def map(self, fn, items):
+        raise RuntimeError(
+            "the distributed executor does not map functions over cells; "
+            "run it through FMoreEngine.run(scenario, store=...) so the "
+            "coordinator can schedule whole plans via execute_plan"
+        )
+
+    # -- the coordinator loop -------------------------------------------
+    def execute_plan(
+        self,
+        scenario: "Scenario",
+        cells: Sequence[tuple[str, int]],
+        store: "ExperimentStore",
+        *,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        force: bool = False,
+    ):
+        """Queue ``cells``, wait for their manifests, load the histories.
+
+        Returns histories aligned with ``cells`` (the engine's positional
+        contract).  With ``force`` the cells' existing manifests are
+        dropped first, so "manifest exists" is again synonymous with
+        "recomputed".  Raises ``RuntimeError`` when spawned local workers
+        keep dying (beyond ``max(3, 2 * workers)`` non-zero exits).
+        """
+        from .store import ExperimentStore
+
+        store = ExperimentStore.coerce(store)
+        queue = JobQueue(store)
+        # Hash once: the store API accepts the hash string everywhere, and
+        # re-deriving it (a full canonical-JSON dump + SHA-256) per cell
+        # per poll would dominate an idle coordinator's loop.
+        h = store.register_scenario(scenario)
+        if force:
+            for scheme, seed in cells:
+                path = store.manifest_path(h, scheme, seed)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+        queue.enqueue(
+            scenario,
+            cells,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            lease_seconds=self.lease_seconds,
+        )
+        n_local = 0 if self.max_workers == 0 else self.worker_count(len(cells))
+        workers = [self._spawn_worker(store) for _ in range(n_local)]
+        failures = 0
+        max_failures = max(3, 2 * n_local)
+        hinted = False
+        idle_polls = 0
+        done_before = sum(1 for s, d in cells if store.has_cell(h, s, d))
+        try:
+            while True:
+                done = sum(1 for s, d in cells if store.has_cell(h, s, d))
+                if done == len(cells):
+                    break
+                if done > done_before:
+                    # Cells are still landing: worker deaths so far were
+                    # absorbed by the lease/re-queue machinery.  Reset the
+                    # failure budget so a long sweep on flaky nodes is not
+                    # aborted by a lifetime body count while progressing.
+                    done_before = done
+                    failures = 0
+                queue.reclaim_stale()
+                if n_local:
+                    alive = []
+                    for proc in workers:
+                        code = proc.poll()
+                        if code is None:
+                            alive.append(proc)
+                        elif code != 0:
+                            failures += 1
+                            if failures > max_failures:
+                                raise RuntimeError(
+                                    f"distributed workers keep failing (last "
+                                    f"exit code {code}, {failures} failures); "
+                                    "see the worker stderr above"
+                                )
+                    workers = alive
+                    # Respawn only when claimable work is actually waiting
+                    # (idle exits while one worker finishes the tail cell
+                    # are normal and should not trigger churn).
+                    if len(workers) < n_local and queue.unclaimed():
+                        workers.append(self._spawn_worker(store))
+                else:
+                    idle_polls += 1
+                    if not hinted and idle_polls * self.poll_interval > 30.0:
+                        hinted = True
+                        print(
+                            f"[distributed] waiting for external workers on "
+                            f"{store.root} — start some with: python -m repro "
+                            f"worker --store {store.root}",
+                            file=sys.stderr,
+                        )
+                time.sleep(self.poll_interval)
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover - safety
+                    proc.kill()
+        return [store.load_history(h, s, d) for s, d in cells]
+
+    def _spawn_worker(self, store: "ExperimentStore") -> subprocess.Popen:
+        """Start one local worker subprocess pointed at the store.
+
+        The repo's ``src`` directory is prepended to the child's
+        ``PYTHONPATH`` so spawning works from a source checkout without an
+        installed package.
+        """
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else os.pathsep.join([src_dir, existing])
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--store",
+            str(store.root),
+            "--exit-when-idle",
+            "--poll-interval",
+            str(self.poll_interval),
+        ]
+        return subprocess.Popen(cmd, env=env)
+
+
+# ----------------------------------------------------------------------
+# Batch-cluster job emission (SLURM-style, coordinator-free)
+# ----------------------------------------------------------------------
+def emit_job_scripts(scenario: "Scenario", directory: str | Path) -> list[Path]:
+    """Write per-cell batch scripts for ``scenario`` under ``directory``.
+
+    Emits ``scenario.json``, one ``jobs/cell-<scheme>-seed<seed>.sh`` per
+    cell of the plan, a ``submit_array.sh`` SLURM array wrapper, and a
+    ``README.md``.  Every cell script is self-contained: it runs its one
+    cell as a plain serial ``python -m repro run`` against the shared
+    store named by ``$STORE`` — the content address excludes the run
+    plan, so all cells land under one scenario hash and the finished
+    sweep assembles with ``python -m repro report --store $STORE`` (or an
+    ordinary full-plan ``run``, which loads every manifest instead of
+    recomputing).  Returns the written paths.
+    """
+    from .store import scenario_hash
+
+    directory = Path(directory)
+    jobs_dir = directory / "jobs"
+    jobs_dir.mkdir(parents=True, exist_ok=True)
+    h = scenario_hash(scenario)
+    written: list[Path] = []
+
+    spec_path = directory / "scenario.json"
+    spec_path.write_text(scenario.to_json() + "\n")
+    written.append(spec_path)
+
+    safe_name = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in scenario.name
+    )
+    cells = [
+        (scheme, seed) for seed in scenario.seeds for scheme in scenario.schemes
+    ]
+    serial_spec = '\'execution={"executor":"serial","max_workers":null}\''
+    scripts: list[str] = []
+    for scheme, seed in cells:
+        cell = f"{scheme}-seed{seed}"
+        script = jobs_dir / f"cell-{cell}.sh"
+        script.write_text(
+            "#!/usr/bin/env bash\n"
+            f"#SBATCH --job-name=fmore-{safe_name}-{cell}\n"
+            "#SBATCH --output=fmore-%x-%j.out\n"
+            f"# One ({scheme}, seed {seed}) cell of scenario "
+            f"{scenario.name!r} (hash {h[:12]}…).\n"
+            "# Usage: STORE=/shared/store bash "
+            f"jobs/cell-{cell}.sh\n"
+            "set -euo pipefail\n"
+            ': "${STORE:?set STORE to the shared experiment-store directory}"\n'
+            'SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"\n'
+            "exec python -m repro run "
+            '--scenario "$SCRIPT_DIR/../scenario.json" --store "$STORE" \\\n'
+            f"    --set schemes={scheme} --set seeds={seed} \\\n"
+            f"    --set {serial_spec}\n"
+        )
+        _make_executable(script)
+        scripts.append(f"jobs/{script.name}")
+        written.append(script)
+
+    array = directory / "submit_array.sh"
+    listing = "\n".join(f'  "{s}"' for s in scripts)
+    array.write_text(
+        "#!/usr/bin/env bash\n"
+        f"#SBATCH --job-name=fmore-{safe_name}\n"
+        f"#SBATCH --array=0-{len(scripts) - 1}\n"
+        "#SBATCH --output=fmore-%x-%A_%a.out\n"
+        f"# SLURM array over the {len(scripts)} (scheme, seed) cells of "
+        f"scenario {scenario.name!r}.\n"
+        "# Usage: STORE=/shared/store sbatch submit_array.sh\n"
+        "set -euo pipefail\n"
+        ': "${STORE:?set STORE to the shared experiment-store directory}"\n'
+        "export STORE\n"
+        'SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"\n'
+        "CELLS=(\n"
+        f"{listing}\n"
+        ")\n"
+        'exec bash "$SCRIPT_DIR/${CELLS[$SLURM_ARRAY_TASK_ID]}"\n'
+    )
+    _make_executable(array)
+    written.append(array)
+
+    readme = directory / "README.md"
+    readme.write_text(
+        f"# Batch jobs for scenario `{scenario.name}`\n\n"
+        f"Scenario hash: `{h}`\n\n"
+        f"{len(scripts)} cell scripts under `jobs/` — one per\n"
+        "`(scheme, seed)` cell of the plan. Each runs its cell serially\n"
+        "against the shared experiment store named by `$STORE`; the\n"
+        "manifest address excludes the run plan, so every cell lands\n"
+        "under the scenario hash above.\n\n"
+        "```bash\n"
+        "# SLURM array (one task per cell):\n"
+        "STORE=/shared/store sbatch submit_array.sh\n\n"
+        "# Any other scheduler / plain shells — cells are independent:\n"
+        "STORE=/shared/store bash " + scripts[0] + "\n\n"
+        "# Afterwards, assemble the sweep from any machine:\n"
+        "python -m repro report --store /shared/store\n"
+        "python -m repro run --scenario scenario.json --store /shared/store\n"
+        "```\n\n"
+        "Re-running a cell script is idempotent (completed cells load\n"
+        "from their manifests). See docs/deployment.md in the repository\n"
+        "for the full cookbook, including resume and `--force` semantics.\n"
+    )
+    written.append(readme)
+    return written
+
+
+def _make_executable(path: Path) -> None:
+    mode = path.stat().st_mode
+    path.chmod(mode | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)

@@ -409,6 +409,19 @@ class Session:
     valid).  :meth:`run` drains the remaining rounds and returns the full
     history; ``FMoreEngine.run`` consumes sessions exactly this way, so a
     drained session is bitwise-identical to a batch run.
+
+    Checkpointing: :meth:`snapshot` captures everything the cell needs to
+    continue exactly (weights, records, RNG stream positions, policy
+    state); :meth:`restore` installs a snapshot into a fresh session, and
+    ``FMoreEngine.resume(checkpoint)`` wraps both.  Distributed workers
+    (:mod:`repro.api.distributed`) drive cells through this same
+    interface, which is why a stolen or resumed cell's manifest is
+    byte-identical to an uninterrupted one.
+
+    >>> session = engine.session(scenario, "FMore", seed=0)  # doctest: +SKIP
+    >>> for event in session:                                # doctest: +SKIP
+    ...     if event.accuracy > 0.8:
+    ...         break
     """
 
     def __init__(
@@ -721,18 +734,31 @@ class RunResult:
 class FMoreEngine:
     """Runs scenarios, caching equilibrium solvers per advertised game.
 
-    The cache key is the full common knowledge of the game —
-    ``(s, c, F, N, K)`` plus quality bounds, winning kernel, payment
-    backend and grid size — so a multi-seed run, a scheme comparison or a
-    sweep over *non-game* parameters builds the strategy tables exactly
-    once.  Construction is cheap; share one engine across related runs to
-    share its cache.
+    The façade over the whole assembly path: :meth:`run` executes every
+    ``(scheme, seed)`` cell of a scenario's plan (durably and
+    incrementally when given a ``store``), :meth:`session` streams a
+    single cell round by round as :class:`RoundEvent` values, and
+    :meth:`resume` continues a :class:`~repro.api.store.Checkpoint`
+    bitwise-identically.  The solver cache key is the full common
+    knowledge of the game — ``(s, c, F, N, K)`` plus quality bounds,
+    winning kernel, payment backend and grid size — so a multi-seed run,
+    a scheme comparison or a sweep over *non-game* parameters builds the
+    strategy tables exactly once.  Construction is cheap; share one
+    engine across related runs to share its cache.
+
+    >>> engine = FMoreEngine()                                  # doctest: +SKIP
+    >>> result = engine.run(Scenario.from_preset("smoke", "mnist_o"))  # doctest: +SKIP
+    >>> result.history("FMore").final_accuracy                  # doctest: +SKIP
+    0.62
 
     Parameters
     ----------
     timer:
         Optional :class:`~repro.fl.trainer.RoundTimer` forwarded to every
-        trainer (the MEC cluster's wall-clock model).
+        trainer (the MEC cluster's wall-clock model).  Must be picklable
+        for the ``process`` executor; the ``distributed`` executor
+        rejects it (remote workers cannot share a live object — cluster
+        scenarios time themselves through their federation instead).
     """
 
     def __init__(self, timer: RoundTimer | None = None):
@@ -839,7 +865,15 @@ class FMoreEngine:
         * the ``process`` executor ships ``(scenario, scheme, seed)`` to
           worker processes, each of which rebuilds federations from the
           same streams and keeps a per-process solver cache (the engine's
-          ``timer``, if any, must then be picklable).
+          ``timer``, if any, must then be picklable);
+        * the ``distributed`` executor turns the store into a job bus:
+          pending cells are enqueued as job specs under
+          ``<store>/jobs/``, ``python -m repro worker`` processes — local
+          (spawned when ``max_workers`` > 0) or on any machine sharing
+          the store's filesystem — claim them with lease-guarded lock
+          files, and this call polls until every manifest lands (see
+          :mod:`repro.api.distributed`; a ``store`` is then mandatory
+          and ``stop_after`` is unsupported).
 
         With a ``store`` (an :class:`~repro.api.store.ExperimentStore` or
         its root path) the run becomes durable and incremental: cells
@@ -868,10 +902,31 @@ class FMoreEngine:
             )
         if resume:
             store.require_scenario(scenario)
-        executor: Executor = EXECUTORS.create(
-            scenario.execution["executor"],
-            max_workers=scenario.execution["max_workers"],
-        )
+        exec_spec = dict(scenario.execution)
+        executor: Executor = EXECUTORS.create(exec_spec.pop("executor"), **exec_spec)
+        if executor.needs_store:
+            # Store-coordinated executors (repro.api.distributed) schedule
+            # whole plans across machines; the store is their job and
+            # results bus, so it is mandatory, and per-process round
+            # budgets / live timers cannot cross the machine boundary.
+            if store is None:
+                raise ValueError(
+                    f"the {scenario.execution['executor']!r} executor "
+                    "coordinates cells through a shared experiment store; "
+                    "pass store=... (CLI: --store DIR)"
+                )
+            if stop_after is not None:
+                raise ValueError(
+                    "stop_after bounds rounds run *in this process* and is "
+                    "not supported by store-coordinated executors; bound "
+                    "worker lifetimes with `repro worker --max-cells` instead"
+                )
+            if self.timer is not None:
+                raise ValueError(
+                    "a store-coordinated run cannot ship the engine's timer "
+                    "to remote workers; cluster scenarios time themselves "
+                    "through their federation's SimulatedCluster"
+                )
         cells = [
             (scheme, seed) for seed in scenario.seeds for scheme in scenario.schemes
         ]
@@ -883,7 +938,16 @@ class FMoreEngine:
         pending = [cell for cell in cells if cell not in loaded]
         results: list[TrainingHistory | None] = []
         if pending:
-            if executor.in_process:
+            if executor.needs_store:
+                results = executor.execute_plan(
+                    scenario,
+                    pending,
+                    store,
+                    resume=resume,
+                    checkpoint_every=checkpoint_every,
+                    force=force,
+                )
+            elif executor.in_process:
                 # Under a concurrent in-process executor the scheme-independent
                 # initial weights must be settled before cells race for them;
                 # the serial loop keeps the legacy lazy fill (first cell pays).

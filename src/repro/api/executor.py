@@ -17,6 +17,11 @@ module turns that property into a registry-registered ``Executor`` family:
   bitwise-identical to ``serial`` while multi-seed sweeps scale across
   cores.  Work submitted to it must be picklable (the engine submits a
   module-level function plus the frozen scenario).
+* ``distributed`` — a coordinator that schedules cells across *machines*
+  through a shared :class:`~repro.api.store.ExperimentStore` (job specs
+  claimed by work-stealing workers; see :mod:`repro.api.distributed`).
+  It sets :attr:`Executor.needs_store` and is driven through
+  ``execute_plan`` rather than :meth:`Executor.map`.
 
 A scenario chooses its executor declaratively via the ``execution`` spec
 (``{"executor": "process", "max_workers": 4}``), which the CLI exposes as
@@ -67,9 +72,17 @@ class Executor(ABC):
         in-memory state (solver caches, federations).  ``False`` for the
         process pool, whose work function must be picklable and rebuilds
         shared state per worker.
+    needs_store:
+        ``True`` for executors that coordinate whole plans through a
+        shared :class:`~repro.api.store.ExperimentStore` instead of
+        mapping a function over cells.  The engine then requires a store
+        and calls ``execute_plan(scenario, cells, store, ...)`` instead
+        of :meth:`map` (see
+        :class:`repro.api.distributed.DistributedExecutor`).
     """
 
     in_process = True
+    needs_store = False
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None:

@@ -50,10 +50,23 @@ _BASE_COLUMNS = (
 class MetricsFrame:
     """A plain columnar table: ``columns`` names, ``rows`` aligned tuples.
 
+    Built by ``RunResult.metrics()`` with one row per ``(scheme, round)``
+    — the seed-averaged training series (``accuracy_mean``/``_std``,
+    ``loss_mean``, ``cumulative_seconds_mean``, ``payment_mean``,
+    ``n_winners_mean``) plus the policy trajectory (cumulative
+    ``bans_total_mean``, per-round ``violations_mean`` /
+    ``churn_departed_mean`` / ``churn_arrived_mean``, and forward-filled
+    guidance ``alpha<i>`` columns when a run retuned).  Slice with
+    :meth:`filter` / :meth:`column`, export with :meth:`to_csv` /
+    :meth:`to_json`, and round-trip losslessly via :meth:`from_json`.
+
     Deliberately dependency-free (no pandas in this repo): just enough
     structure to slice by column or scheme and to serialise losslessly.
     Missing values are ``None`` (never NaN, so frames compare equal after
     a round-trip).
+
+    >>> frame = result.metrics()                      # doctest: +SKIP
+    >>> frame.filter(scheme="FMore").column("accuracy_mean")  # doctest: +SKIP
     """
 
     columns: list[str]

@@ -37,6 +37,7 @@ from ..core.registry import (
     SCORING_RULES,
     THETA_DISTRIBUTIONS,
 )
+from . import distributed as _distributed  # noqa: F401 - registers "distributed"
 from .executor import EXECUTORS  # noqa: F401 - import registers the executors
 
 __all__ = ["Scenario", "SCHEME_NAMES", "VARIANT_NAMES"]
@@ -49,7 +50,14 @@ VARIANT_NAMES = ("simulation", "cluster")
 
 _WIN_MODELS = ("paper", "exact")
 
-_EXECUTION_KEYS = ("executor", "max_workers")
+_EXECUTION_KEYS = ("executor", "max_workers", "lease_seconds", "poll_interval")
+
+# Defaults filled into a "distributed" execution spec at canonicalisation
+# (kept in repro.api.distributed so the executor and the spec agree).
+_DISTRIBUTED_DEFAULTS = {
+    "lease_seconds": _distributed.DEFAULT_LEASE_SECONDS,
+    "poll_interval": _distributed.DEFAULT_POLL_INTERVAL,
+}
 
 # Fields deserialised back into tuples (JSON only has lists).
 _TUPLE_FIELDS = ("size_range", "schemes", "seeds", "core_choices", "bandwidth_range_mbps")
@@ -85,9 +93,38 @@ def _default_execution() -> dict:
 class Scenario:
     """One fully-specified experiment (dataset + federation + auction + plan).
 
-    The default values mirror the paper's Section V-A setup, like
-    :class:`~repro.sim.config.ExperimentConfig` does; ``from_preset``
-    bridges the existing ``smoke``/``bench``/``paper`` presets.
+    A frozen, validated, JSON-round-trippable value: build one with
+    :meth:`from_preset` / :meth:`from_dict` / the constructor, derive
+    variants with :meth:`with_` / :meth:`with_overrides` (CLI-style
+    ``key=value`` pairs, dotted paths reaching inside spec mappings), and
+    hand it to :class:`~repro.api.engine.FMoreEngine`.  Invalid field
+    combinations fail at construction, never rounds into a run.
+
+    The fields fall into six groups (defaults mirror the paper's Section
+    V-A setup):
+
+    * **environment** — ``name`` (feeds the named seed streams),
+      ``dataset``, ``variant`` (``"simulation"`` or the Section V-C
+      ``"cluster"`` testbed);
+    * **federation shape** — ``n_clients``, ``k_winners``, data sizing
+      and non-IID-ness, ``data_seed``;
+    * **training** — ``n_rounds``, ``local_epochs``, ``batch_size``,
+      ``lr``, model shape;
+    * **auction environment** — the registry specs ``scoring`` /
+      ``cost`` / ``theta`` plus ``payment_rule`` / ``payment_method`` /
+      ``win_model`` / ``grid_size`` (see docs/scenario_reference.md for
+      every registered name);
+    * **run plan** — ``schemes``, ``seeds``, and ``execution`` (which
+      executor fans the ``(scheme, seed)`` cells out, including the
+      store-coordinated ``"distributed"`` backend);
+    * **round policies** — the ``policies`` pipeline spec with optional
+      ``per_scheme`` overrides.
+
+    >>> s = Scenario.from_preset("smoke", "mnist_o", seeds=(0, 1))
+    >>> Scenario.from_json(s.to_json()) == s
+    True
+    >>> s.with_overrides(["scoring.scale=30", "seeds=0,1,2"]).n_rounds == s.n_rounds
+    True
     """
 
     name: str = "default"
@@ -132,7 +169,11 @@ class Scenario:
     schemes: tuple[str, ...] = ("FMore", "RandFL", "FixFL")
     seeds: tuple[int, ...] = (0,)
     # How the (scheme, seed) cells execute: a registry spec naming an
-    # executor from repro.api.executor plus its worker bound.
+    # executor from repro.api.executor plus its worker bound.  The
+    # "distributed" executor (repro.api.distributed) additionally takes
+    # lease_seconds/poll_interval and allows max_workers=0
+    # (coordinate-only: external `python -m repro worker` processes run
+    # the cells through a shared experiment store).
     execution: dict = field(default_factory=_default_execution)
     # Round-policy pipeline spec: {stage: params} over the registered
     # stages (selection/guidance/audit_blacklist/churn, see
@@ -188,11 +229,32 @@ class Scenario:
         max_workers = execution.get("max_workers")
         if max_workers is not None:
             max_workers = int(max_workers)
-            if max_workers < 1:
-                raise ValueError("execution max_workers must be >= 1")
-        object.__setattr__(
-            self, "execution", {"executor": executor, "max_workers": max_workers}
-        )
+            if max_workers < 1 and not (max_workers == 0 and executor == "distributed"):
+                raise ValueError(
+                    "execution max_workers must be >= 1 (0 is allowed only "
+                    "for the 'distributed' executor, meaning coordinate-only: "
+                    "external workers do the running)"
+                )
+        canonical_execution = {"executor": executor, "max_workers": max_workers}
+        lease = execution.get("lease_seconds")
+        poll = execution.get("poll_interval")
+        if executor == "distributed":
+            # Distributed coordination knobs, defaulted at canonicalisation
+            # so the spec round-trips explicitly through JSON.
+            lease = _DISTRIBUTED_DEFAULTS["lease_seconds"] if lease is None else float(lease)
+            poll = _DISTRIBUTED_DEFAULTS["poll_interval"] if poll is None else float(poll)
+            if lease < 0.0:
+                raise ValueError("execution lease_seconds must be >= 0")
+            if poll <= 0.0:
+                raise ValueError("execution poll_interval must be > 0")
+            canonical_execution["lease_seconds"] = lease
+            canonical_execution["poll_interval"] = poll
+        elif lease is not None or poll is not None:
+            raise ValueError(
+                "execution keys lease_seconds/poll_interval only apply to "
+                "the 'distributed' executor"
+            )
+        object.__setattr__(self, "execution", canonical_execution)
         if self.n_clients < 2:
             raise ValueError("n_clients must be >= 2")
         if not (1 <= self.k_winners <= self.n_clients):

@@ -29,6 +29,13 @@ Layout under the store root::
     scenarios/<hash>.json                   # full scenario spec (first run's plan)
     runs/<hash>/<scheme>-seed<seed>.json    # one manifest per completed cell
     checkpoints/<hash>/<scheme>-seed<seed>/ # state.json + weights.npz
+    jobs/<hash>/<scheme>-seed<seed>.json    # distributed job queue (+ .lock
+                                            # claims; see repro.api.distributed)
+
+Because every write lands via temp-file + :func:`os.replace` and every
+cell's content is a deterministic function of its address, the store is
+safe to share between machines: concurrent writers of the same cell
+produce byte-identical manifests and the last writer simply wins.
 """
 
 from __future__ import annotations
@@ -173,9 +180,13 @@ class Checkpoint:
 class ExperimentStore:
     """Filesystem-backed, content-addressed result and checkpoint store.
 
-    Cheap to construct (one ``mkdir``); safe to point several processes at
-    the same root — every write lands via a temp file + :func:`os.replace`
-    and cells are written at most once per run.
+    Cheap to construct (one ``mkdir``); safe to point several processes —
+    or several *machines* on a shared filesystem — at the same root:
+    every write lands via a temp file + :func:`os.replace`, and because a
+    cell's manifest bytes are a pure function of its address, concurrent
+    writers of one cell are last-writer-wins over identical content.
+    The distributed backend (:mod:`repro.api.distributed`) additionally
+    keeps its work queue under ``jobs/`` in the same root.
     """
 
     def __init__(self, root: str | Path):
