@@ -130,3 +130,54 @@ def test_micro_mechanism_round_500(benchmark, bench_solver):
     mechanism = FMoreMechanism(auction)
     record = benchmark(lambda: mechanism.run_round(agents, 1, rng))
     assert record.accounting.n_bids == 500
+
+
+def test_micro_strategic_round_500(benchmark, bench_solver):
+    """A mixed-population round (20% markup bidders) vs the truthful path.
+
+    The strategic partition still prices every (policy, solver) group
+    through one ``bid_batch`` call, so attaching policies to a fifth of
+    the population must not fall off the vectorised cliff: the full
+    round — partition, shade, winner determination, feedback dispatch —
+    is asserted to stay within 3x of the all-truthful round.
+    """
+    from repro.mec.node import EdgeNode
+    from repro.mec.resources import ResourceProfile
+    from repro.strategic.policies import FixedMarkupBidding
+
+    def build_agents():
+        rng = np.random.default_rng(4)
+        thetas = np.asarray(bench_solver.model.distribution.sample(rng, 500))
+        return [
+            EdgeNode(i, float(t), bench_solver, ResourceProfile(3000, 0.9))
+            for i, t in enumerate(thetas)
+        ]
+
+    auction = MultiDimensionalProcurementAuction(bench_solver.quality_rule, 20)
+    truthful = FMoreMechanism(auction)
+    strategic = FMoreMechanism(
+        auction,
+        bid_policies={i: FixedMarkupBidding(markup=0.1) for i in range(100)},
+        bidding_rng=np.random.default_rng(0),
+    )
+    agents = build_agents()
+
+    def best_of(mechanism, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            rng = np.random.default_rng(2)
+            start = time.perf_counter()
+            mechanism.run_round(agents, 1, rng)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_truthful = best_of(truthful)
+    t_strategic = best_of(strategic)
+    overhead = t_strategic / t_truthful
+    benchmark.extra_info["truthful_ms"] = t_truthful * 1e3
+    benchmark.extra_info["overhead"] = overhead
+    record = benchmark(
+        lambda: strategic.run_round(agents, 1, np.random.default_rng(2))
+    )
+    assert record.accounting.n_bids == 500
+    assert overhead <= 3.0, f"strategic round overhead {overhead:.2f}x > 3x"

@@ -23,6 +23,12 @@ Usage::
     python -m repro report --store runs/             # scheme comparison tables
     python -m repro report --store runs/ --csv metrics.csv   # metrics frame
 
+    # Strategic bidders: empirical IC/IR sweep (repro.strategic).
+    python -m repro run --preset smoke \
+        --set 'bidding={"mix":[{"name":"fixed_markup","fraction":0.2,"markup":0.1}]}'
+    python -m repro report --incentives --preset smoke --store runs/
+    python -m repro report --incentives --preset paper --assert-ic  # CI gate
+
     # Distributed sweeps: cells fan out over a shared store (docs/deployment.md).
     python -m repro run --preset bench --set seeds=0,1,2,3 \
         --executor distributed --parallel 4 --store runs/   # spawn 4 local workers
@@ -337,12 +343,44 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_report_incentives(args) -> int:
+    """Run the IC/IR deviation sweep and render its table."""
+    from .analysis import run_incentive_sweep
+
+    scenario = _load_scenario(args)
+    if not (0.0 < args.deviant_fraction < 1.0):
+        raise SystemExit("error: --deviant-fraction must lie in (0, 1)")
+    try:
+        report = run_incentive_sweep(
+            scenario,
+            store=args.store,
+            fraction=args.deviant_fraction,
+            log=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(report.to_markdown())
+    if args.csv is not None:
+        report.to_csv(args.csv)
+        print(f"wrote {len(report.rows)} report rows to {args.csv}")
+    if args.assert_ic and not report.ic_holds:
+        bad = ", ".join(
+            f"{r.policy}@{r.scheme} (gap {r.ic_gap:+.6f})"
+            for r in report.failures()
+        )
+        print(f"IC ASSERTION FAILED: deviations out-earned truthful: {bad}")
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Render scheme-comparison tables from an experiment store."""
     from .api import RunResult, Scenario, scenario_hash
     from .api.store import ExperimentStore
     from .sim.reporting import ascii_table
 
+    if args.incentives:
+        return _cmd_report_incentives(args)
     if args.store is None:
         raise SystemExit("error: report needs --store DIR")
     store = ExperimentStore(args.store)
@@ -622,6 +660,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="with `report`: also write the scenario's per-round metrics "
         "frame (seed-averaged accuracy/time/policy trajectories) as CSV",
+    )
+    parser.add_argument(
+        "--incentives",
+        action="store_true",
+        help="with `report`: run the strategic-bidder IC/IR sweep over the "
+        "scenario (--scenario/--preset) instead of reading stored tables; "
+        "--store makes repeat sweeps incremental, --csv exports the rows",
+    )
+    parser.add_argument(
+        "--assert-ic",
+        action="store_true",
+        help="with `report --incentives`: exit 1 unless truthful bidding is "
+        "weakly payoff-optimal against every swept deviation (CI gate)",
+    )
+    parser.add_argument(
+        "--deviant-fraction",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="with `report --incentives`: population fraction assigned each "
+        "deviation policy (default 0.2)",
     )
     parser.add_argument(
         "--emit-jobs",

@@ -1,4 +1,5 @@
-"""Analytics: equilibrium sweeps (Figs 8-10, Thms 2-3) and convergence summaries."""
+"""Analytics: equilibrium sweeps (Figs 8-10, Thms 2-3), convergence
+summaries, and the empirical IC/IR incentive report."""
 
 from .convergence import (
     HeadlineMetrics,
@@ -16,6 +17,12 @@ from .equilibrium_analysis import (
     score_histogram,
     selection_rank_proportions,
     winner_stats,
+)
+from .incentive_report import (
+    DEFAULT_DEVIATIONS,
+    IncentiveReport,
+    IncentiveRow,
+    run_incentive_sweep,
 )
 from .theory_report import TheoremCheck, report, verify_all
 
@@ -36,4 +43,8 @@ __all__ = [
     "TheoremCheck",
     "verify_all",
     "report",
+    "DEFAULT_DEVIATIONS",
+    "IncentiveRow",
+    "IncentiveReport",
+    "run_incentive_sweep",
 ]

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import stat
 import subprocess
@@ -156,6 +157,7 @@ class JobQueue:
         from .store import ExperimentStore
 
         self.store = ExperimentStore.coerce(store)
+        self._claim_passes = 0
 
     # -- paths ----------------------------------------------------------
     def jobs_dir(self, scenario_hash: str) -> Path:
@@ -248,12 +250,16 @@ class JobQueue:
     def claim(self, worker_id: str | None = None) -> Job | None:
         """Claim the first available cell, or ``None`` when none is.
 
-        Scans job specs in sorted order; a cell is available when its
-        lock does not exist (never claimed, or released) or exists but
-        has outlived its lease (the previous worker died — the lock is
-        atomically renamed aside and re-created, i.e. the cell is
-        *stolen*).  Cells whose manifest already landed are garbage
-        collected on the way.
+        Scans job specs in a per-worker, per-pass shuffled order (seeded
+        from the worker label and a pass counter — deterministic for a
+        given worker, different across workers), so a fleet of workers
+        arriving at a freshly-enqueued plan fans out across the queue
+        instead of all contending for the lexicographically-first lock.
+        A cell is available when its lock does not exist (never claimed,
+        or released) or exists but has outlived its lease (the previous
+        worker died — the lock is atomically renamed aside and
+        re-created, i.e. the cell is *stolen*).  Cells whose manifest
+        already landed are garbage collected on the way.
 
         Raises :class:`~repro.api.store.StoreMismatchError` when a job
         spec addresses a scenario this store has never registered — the
@@ -263,8 +269,12 @@ class JobQueue:
         from .store import StoreMismatchError
 
         label = _worker_label(worker_id)
+        self._claim_passes += 1
+        paths = self._job_paths()
+        # str seeding is stable (unlike hash(), which is salted per run).
+        random.Random(f"{label}:{self._claim_passes}").shuffle(paths)
         known_hashes: set[str] = set()  # scenario_path.exists() memoised
-        for path in self._job_paths():
+        for path in paths:
             data = self._read_job(path)
             if data is None:
                 continue

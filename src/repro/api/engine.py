@@ -61,6 +61,7 @@ from ..mec.cluster import (
 from ..mec.node import EdgeNode
 from ..mec.resources import ResourceProfile, UniformAvailabilityDynamics
 from ..sim.rng import rng_from, rng_state, set_rng_state
+from ..strategic.policies import build_bid_policies
 from .executor import Executor, SerialExecutor
 from .scenario import SCHEME_NAMES, Scenario
 from .store import (
@@ -132,6 +133,7 @@ def _stream_names(scenario: Scenario) -> dict[str, str]:
             "fixfl": "cluster-fixfl",
             "train": "cluster-train-{scheme}",
             "policy": "cluster-policy-{scheme}",
+            "bidding": "cluster-bidding-{scheme}",
         }
     return {
         "data": f"data-{scenario.name}",
@@ -140,6 +142,7 @@ def _stream_names(scenario: Scenario) -> dict[str, str]:
         "fixfl": "fixfl",
         "train": "train-{scheme}",
         "policy": "policy-{scheme}",
+        "bidding": "bidding-{scheme}",
     }
 
 
@@ -347,7 +350,24 @@ def build_selection(
             if pipeline
             else None
         )
-        mechanism = FMoreMechanism(auction, policies=pipeline, policy_rng=policy_rng)
+        # The strategic slice, if any.  Like the round-policy pipeline,
+        # its randomness rides a dedicated named stream, so all-truthful
+        # scenarios leave every historical stream untouched.
+        bid_policies = build_bid_policies(
+            scenario.bidding_for(scheme), [a.node_id for a in agents]
+        )
+        bidding_rng = (
+            rng_from(seed, names["bidding"].format(scheme=scheme))
+            if bid_policies
+            else None
+        )
+        mechanism = FMoreMechanism(
+            auction,
+            policies=pipeline,
+            policy_rng=policy_rng,
+            bid_policies=bid_policies,
+            bidding_rng=bidding_rng,
+        )
         if scenario.variant == "cluster":
             quality_to_samples = _ClusterQualityToSamples(scenario.size_range[1])
         else:
@@ -485,12 +505,20 @@ class Session:
         """
         policy_rng_state = None
         policy_states: list[dict] = []
+        bidding_rng_state = None
+        bid_policy_states: list[dict] = []
         selection = self.trainer.selection
         if isinstance(selection, AuctionSelection):
             mechanism = selection.mechanism
             policy_states = [p.state_dict() for p in mechanism.policies]
             if mechanism.policy_rng is not None:
                 policy_rng_state = rng_state(mechanism.policy_rng)
+            bid_policy_states = [
+                {"label": p.label, "name": p.name, "state": p.state_dict()}
+                for p in mechanism.bid_policy_seq
+            ]
+            if mechanism.bidding_rng is not None:
+                bidding_rng_state = rng_state(mechanism.bidding_rng)
         return Checkpoint(
             scenario=self.scenario.to_dict(),
             scenario_hash=scenario_hash(self.scenario),
@@ -502,6 +530,8 @@ class Session:
             rng_state=rng_state(self.trainer.rng),
             policy_rng_state=policy_rng_state,
             policy_states=policy_states,
+            bidding_rng_state=bidding_rng_state,
+            bid_policy_states=bid_policy_states,
         )
 
     def restore(self, checkpoint: Checkpoint) -> "Session":
@@ -560,7 +590,33 @@ class Session:
                         "runs without a policy stream"
                     )
                 set_rng_state(mechanism.policy_rng, checkpoint.policy_rng_state)
-        elif checkpoint.policy_states:
+            seq = mechanism.bid_policy_seq
+            if len(checkpoint.bid_policy_states) != len(seq):
+                raise StoreError(
+                    f"checkpoint carries {len(checkpoint.bid_policy_states)} "
+                    f"bid-policy states but this session runs {len(seq)} "
+                    "strategic group(s)"
+                )
+            for policy, entry in zip(seq, checkpoint.bid_policy_states):
+                if (entry.get("label"), entry.get("name")) != (
+                    policy.label,
+                    policy.name,
+                ):
+                    raise StoreError(
+                        f"checkpoint bid-policy state for "
+                        f"({entry.get('name')!r}, label {entry.get('label')!r}) "
+                        f"does not match this session's "
+                        f"({policy.name!r}, label {policy.label!r})"
+                    )
+                policy.load_state(entry.get("state", {}))
+            if checkpoint.bidding_rng_state is not None:
+                if mechanism.bidding_rng is None:  # pragma: no cover - guard
+                    raise StoreError(
+                        "checkpoint has a bidding RNG state but this session "
+                        "runs without a strategic slice"
+                    )
+                set_rng_state(mechanism.bidding_rng, checkpoint.bidding_rng_state)
+        elif checkpoint.policy_states or checkpoint.bid_policy_states:
             raise StoreError(
                 f"checkpoint carries policy state but scheme "
                 f"{self.scheme!r} runs no policy pipeline"

@@ -11,7 +11,12 @@ be hand-rolled out of ``RoundEvent.actions``:
   enforcement and membership events,
 * ``alpha<i>`` — the guidance exponents in force after the round
   (forward-filled between ``alpha_update`` actions; ``None`` before the
-  first update, and entirely absent when no run ever retuned).
+  first update, and entirely absent when no run ever retuned),
+* ``payoff_<label>_mean`` / ``payoff_<label>_min`` — per bidder-group
+  realized payoff series from strategic runs (``bid_payoff`` actions, see
+  :mod:`repro.strategic`); absent for all-truthful runs, ``None`` for
+  rounds of schemes without the group.  These back the IC/IR report
+  (:mod:`repro.analysis.incentive_report`).
 
 Frames export with ``to_csv`` / ``to_json`` so the paper's
 robustness/guidance figures are one-liners over a stored
@@ -154,13 +159,21 @@ def build_metrics_frame(result) -> MetricsFrame:
     the guidance dimensionality).
     """
     n_alphas = 0
+    payoff_labels: set[str] = set()
     for histories in result.histories.values():
         for history in histories:
             for record in history.records:
                 for action in record.policy_actions:
                     if action.kind == "alpha_update":
                         n_alphas = max(n_alphas, len(action.payload["alphas"]))
-    columns = list(_BASE_COLUMNS) + [f"alpha{i}" for i in range(n_alphas)]
+                    elif action.kind == "bid_payoff":
+                        payoff_labels.update(action.payload["groups"])
+    labels = sorted(payoff_labels)
+    columns = (
+        list(_BASE_COLUMNS)
+        + [f"alpha{i}" for i in range(n_alphas)]
+        + [f"payoff_{label}_{stat}" for label in labels for stat in ("mean", "min")]
+    )
 
     rows: list[tuple] = []
     for scheme in result.schemes:
@@ -186,6 +199,9 @@ def build_metrics_frame(result) -> MetricsFrame:
             alphas = _mean_optional(
                 [series["alphas"][t] for series in per_seed], n_alphas
             )
+            payoffs = _payoff_cells(
+                [series["payoffs"][t] for series in per_seed], labels
+            )
             rows.append(
                 (
                     scheme,
@@ -202,6 +218,7 @@ def build_metrics_frame(result) -> MetricsFrame:
                     float(np.mean([s["arrived"][t] for s in per_seed])),
                 )
                 + alphas
+                + payoffs
             )
     return MetricsFrame(columns, rows)
 
@@ -219,10 +236,12 @@ def _policy_series(history, n_rounds: int, n_alphas: int) -> dict[str, list]:
     departed: list[int] = []
     arrived: list[int] = []
     alphas: list[tuple | None] = []
+    payoffs: list[dict | None] = []
     bans_so_far = 0
     current_alphas: tuple | None = None
     for record in history.records:
         v = d = a = 0
+        round_payoffs: dict | None = None
         for action in record.policy_actions:
             if action.kind == "ban":
                 bans_so_far += 1
@@ -235,18 +254,44 @@ def _policy_series(history, n_rounds: int, n_alphas: int) -> dict[str, list]:
                 current_alphas = tuple(
                     float(x) for x in action.payload["alphas"]
                 )
+            elif action.kind == "bid_payoff":
+                round_payoffs = action.payload["groups"]
         bans.append(bans_so_far)
         violations.append(v)
         departed.append(d)
         arrived.append(a)
         alphas.append(current_alphas)
+        payoffs.append(round_payoffs)
     return {
         "bans": bans,
         "violations": violations,
         "departed": departed,
         "arrived": arrived,
         "alphas": alphas,
+        "payoffs": payoffs,
     }
+
+
+def _payoff_cells(values: list[dict | None], labels: list[str]) -> tuple:
+    """Seed-aggregated ``(mean, min)`` payoff cells for one round.
+
+    Per seed the group mean is total payoff over group size; the seed
+    average of those and the seed-minimum of ``min_payoff`` fill the
+    columns.  A label absent from every seed's round stays ``None``.
+    """
+    out: list[float | None] = []
+    for label in labels:
+        means = []
+        mins = []
+        for groups in values:
+            stats = None if groups is None else groups.get(label)
+            if stats is None or not stats.get("n"):
+                continue
+            means.append(float(stats["payoff"]) / float(stats["n"]))
+            mins.append(float(stats["min_payoff"]))
+        out.append(float(np.mean(means)) if means else None)
+        out.append(float(min(mins)) if mins else None)
+    return tuple(out)
 
 
 def _mean_optional(values: list[tuple | None], n_alphas: int) -> tuple:

@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterator
 
 from .. import core as _core  # noqa: F401 - registers the auction families
 from ..core.registry import (
+    BID_POLICIES,
     COST_MODELS,
     EXECUTORS,
     MARGIN_METHODS,
@@ -32,6 +33,7 @@ from ..core.registry import (
     WINNER_SELECTIONS,
     Registry,
 )
+from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
 from . import distributed as _distributed  # noqa: F401 - registers "distributed"
 from . import executor as _executor  # noqa: F401 - registers the pool executors
 
@@ -93,6 +95,15 @@ FAMILIES: tuple[tuple[Registry, str, str], ...] = (
         "name (`{\"policies\": {\"<name>\": {params}}}`), plus a "
         "`per_scheme` override mapping; see the round-policy pipeline "
         "section of the README.",
+    ),
+    (
+        BID_POLICIES,
+        "Bid policies",
+        "Scenario field `bidding` — `{\"mix\": [{\"name\": \"<entry>\", "
+        "\"fraction\": f, **params}, ...]}` assigns population fractions "
+        "to strategic bidding behaviours (plus a `per_scheme` override "
+        "mapping); unassigned nodes stay truthful. See the strategic "
+        "bidders section of the README.",
     ),
     (
         EXECUTORS,
@@ -221,6 +232,7 @@ def _registry_var_name(registry: Registry) -> str:
         id(PAYMENT_RULES): "PAYMENT_RULES",
         id(MARGIN_METHODS): "MARGIN_METHODS",
         id(ROUND_POLICIES): "ROUND_POLICIES",
+        id(BID_POLICIES): "BID_POLICIES",
         id(EXECUTORS): "EXECUTORS",
     }
     return mapping[id(registry)]

@@ -31,12 +31,14 @@ from ..core.policies import (
     build_policy_pipeline,
 )
 from ..core.registry import (
+    BID_POLICIES,
     COST_MODELS,
     MARGIN_METHODS,
     PAYMENT_RULES,
     SCORING_RULES,
     THETA_DISTRIBUTIONS,
 )
+from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
 from . import distributed as _distributed  # noqa: F401 - registers "distributed"
 from .executor import EXECUTORS  # noqa: F401 - import registers the executors
 
@@ -68,9 +70,11 @@ _SPEC_FIELDS = {
 }
 
 # Dict-valued fields that accept dotted override paths ("scoring.scale").
-_DICT_FIELDS = ("scoring", "cost", "theta", "execution", "policies")
+_DICT_FIELDS = ("scoring", "cost", "theta", "execution", "policies", "bidding")
 
 _POLICY_SPEC_KEYS = PIPELINE_STAGES + ("per_scheme",)
+
+_BIDDING_SPEC_KEYS = ("mix", "per_scheme")
 
 
 def _default_scoring() -> dict:
@@ -182,6 +186,14 @@ class Scenario:
     # policy for that scheme).  Policies apply to the auction-driven
     # schemes (FMore/PsiFMore); empty means the classic protocol.
     policies: dict = field(default_factory=dict)
+    # Strategic-bidder mix: {"mix": [{"name": <BID_POLICIES name>,
+    # "fraction": f, "label": ..., **params}, ...]} plus an optional
+    # "per_scheme" mapping (a null entry reverts a scheme to all-truthful).
+    # Fractions are claimed from the front of the node order; the
+    # remainder bids truthfully through the untouched batched hot path.
+    # Empty (the default) is all-truthful and is *omitted* from to_dict()
+    # so pre-existing scenario hashes and manifests stay byte-identical.
+    bidding: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Validation
@@ -304,6 +316,7 @@ class Scenario:
         if self.grid_size < 16:
             raise ValueError("grid_size must be at least 16")
         object.__setattr__(self, "policies", self._validated_policies())
+        object.__setattr__(self, "bidding", self._validated_bidding())
 
     def _validated_policies(self) -> dict:
         """Canonicalise and validate the round-policy spec.
@@ -399,6 +412,106 @@ class Scenario:
         """
         return copy.deepcopy(self._merge_policies(self.policies, scheme))
 
+    def _validated_bidding(self) -> dict:
+        """Canonicalise and validate the strategic-bidder spec.
+
+        Mirrors :meth:`_validated_policies`: structure checks here,
+        parameter checks delegated to the policy constructors (every mix
+        entry is probe-instantiated through ``BID_POLICIES.create`` and
+        discarded), so a bad ``markup`` fails at Scenario construction.
+        """
+        if not isinstance(self.bidding, Mapping):
+            raise TypeError("bidding must be a spec mapping")
+        spec = {str(k): _detuple(v) for k, v in self.bidding.items()}
+        unknown = sorted(set(spec) - set(_BIDDING_SPEC_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown bidding keys {unknown}; allowed: {list(_BIDDING_SPEC_KEYS)}"
+            )
+        if "mix" in spec:
+            self._check_bidding_mix(spec["mix"], where="bidding['mix']")
+        per_scheme = spec.get("per_scheme", {})
+        if not isinstance(per_scheme, Mapping):
+            raise TypeError("bidding['per_scheme'] must map scheme names to specs")
+        for scheme, override in per_scheme.items():
+            if scheme not in SCHEME_NAMES:
+                raise ValueError(
+                    f"per_scheme bidding names unknown scheme {scheme!r}; "
+                    f"choose from {SCHEME_NAMES}"
+                )
+            if override is None:
+                continue  # null reverts the scheme to all-truthful
+            if not isinstance(override, Mapping) or set(map(str, override)) - {"mix"}:
+                raise TypeError(
+                    f"per_scheme bidding for {scheme!r} must be null or a "
+                    '{"mix": [...]} mapping'
+                )
+            self._check_bidding_mix(
+                override.get("mix", []),
+                where=f"bidding per_scheme[{scheme!r}]['mix']",
+            )
+        return _jsonish(spec)
+
+    @staticmethod
+    def _check_bidding_mix(mix: Any, where: str) -> None:
+        if not isinstance(mix, list):
+            raise TypeError(f"{where} must be a list of policy entries")
+        total = 0.0
+        labels: set[str] = set()
+        for entry in mix:
+            if not isinstance(entry, Mapping):
+                raise TypeError(f"{where} entries must be mappings")
+            entry = {str(k): v for k, v in entry.items()}
+            name = entry.get("name")
+            if not isinstance(name, str) or name not in BID_POLICIES:
+                raise ValueError(
+                    f"{where} entry names unknown bid policy {name!r}; "
+                    f"choose from {list(BID_POLICIES.names())}"
+                )
+            fraction = entry.get("fraction")
+            try:
+                fraction = float(fraction)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{where} entry for {name!r} needs a numeric 'fraction'"
+                ) from None
+            if not (0.0 < fraction <= 1.0):
+                raise ValueError(
+                    f"{where} fraction for {name!r} must lie in (0, 1]"
+                )
+            total += fraction
+            label = entry.get("label")
+            label = name if label is None else str(label)
+            if label == "truthful" and name != "truthful":
+                raise ValueError(
+                    f"{where} label 'truthful' is reserved for the "
+                    "untouched remainder group"
+                )
+            if label in labels:
+                raise ValueError(f"{where} has duplicate label {label!r}")
+            labels.add(label)
+            params = {
+                k: v for k, v in entry.items() if k not in ("fraction", "label")
+            }
+            BID_POLICIES.create(params)  # probe: bad params fail here
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"{where} fractions sum to {total}; must be <= 1")
+
+    def bidding_for(self, scheme: str) -> list[dict]:
+        """The effective strategic mix for one scheme (a copy).
+
+        A ``per_scheme`` entry replaces the base mix wholesale (``null``
+        reverts the scheme to all-truthful); the result feeds
+        :func:`repro.strategic.policies.build_bid_policies`.
+        """
+        per_scheme = self.bidding.get("per_scheme", {})
+        if scheme in per_scheme:
+            override = per_scheme[scheme]
+            mix = [] if override is None else override.get("mix", [])
+        else:
+            mix = self.bidding.get("mix", [])
+        return copy.deepcopy(mix)
+
     # ------------------------------------------------------------------
     # Functional updates
     # ------------------------------------------------------------------
@@ -468,6 +581,10 @@ class Scenario:
         out: dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
+            if f.name == "bidding" and not value:
+                # All-truthful is the implicit default; omitting it keeps
+                # pre-bidding scenario hashes (and store manifests) intact.
+                continue
             if isinstance(value, tuple):
                 value = list(value)
             elif isinstance(value, dict):

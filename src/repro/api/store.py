@@ -139,6 +139,12 @@ class Checkpoint:
     rng_state: dict
     policy_rng_state: dict | None = None
     policy_states: list[dict] = field(default_factory=list)
+    # Strategic-bidder state (repro.strategic): the bidding stream's
+    # position plus one {"label", "name", "state"} entry per distinct
+    # policy, aligned with FMoreMechanism.bid_policy_seq.  Both default
+    # empty so pre-strategic checkpoints keep loading.
+    bidding_rng_state: dict | None = None
+    bid_policy_states: list[dict] = field(default_factory=list)
 
     def to_state_dict(self) -> dict:
         """The JSON half of the checkpoint (weights ride in the .npz)."""
@@ -153,6 +159,8 @@ class Checkpoint:
             "rng_state": self.rng_state,
             "policy_rng_state": self.policy_rng_state,
             "policy_states": list(self.policy_states),
+            "bidding_rng_state": self.bidding_rng_state,
+            "bid_policy_states": list(self.bid_policy_states),
         }
 
     @classmethod
@@ -174,6 +182,14 @@ class Checkpoint:
                 else dict(data["policy_rng_state"])
             ),
             policy_states=[dict(s) for s in data.get("policy_states", [])],
+            bidding_rng_state=(
+                None
+                if data.get("bidding_rng_state") is None
+                else dict(data["bidding_rng_state"])
+            ),
+            bid_policy_states=[
+                dict(s) for s in data.get("bid_policy_states", [])
+            ],
         )
 
 
@@ -189,9 +205,38 @@ class ExperimentStore:
     keeps its work queue under ``jobs/`` in the same root.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        keep_last_n: int = 1,
+        keep_every_k: int | None = None,
+    ):
+        """Open (or create) a store at ``root``.
+
+        ``keep_last_n`` / ``keep_every_k`` set the checkpoint *retention
+        policy*: by default each cell keeps exactly one checkpoint,
+        overwritten in place (the historical flat layout — byte-compatible
+        with stores written before retention existed).  Raising
+        ``keep_last_n`` or setting ``keep_every_k`` switches the cell's
+        checkpoint directory to per-round ``round-<r>/`` subdirectories
+        and prunes to the union of the last ``keep_last_n`` rounds and
+        every round divisible by ``keep_every_k`` — the mid-run states a
+        learned bidder can later be replayed from.
+        """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_last_n = int(keep_last_n)
+        self.keep_every_k = None if keep_every_k is None else int(keep_every_k)
+        if self.keep_last_n < 1:
+            raise ValueError("keep_last_n must be >= 1")
+        if self.keep_every_k is not None and self.keep_every_k < 1:
+            raise ValueError("keep_every_k must be >= 1 (or None)")
+
+    @property
+    def _retains_history(self) -> bool:
+        """Whether the retention policy keeps more than the latest round."""
+        return self.keep_last_n > 1 or self.keep_every_k is not None
 
     @classmethod
     def coerce(
@@ -373,31 +418,104 @@ class ExperimentStore:
         """Persist a mid-run snapshot (weights first, then the state JSON).
 
         The state file is the commit point: written last and atomically,
-        so a partially-written checkpoint is never loadable.
+        so a partially-written checkpoint is never loadable.  Under the
+        default retention policy the snapshot overwrites the cell's flat
+        checkpoint in place; with ``keep_last_n > 1`` or ``keep_every_k``
+        it lands in a per-round ``round-<r>/`` subdirectory and older
+        rounds outside the retention set are pruned.
         """
         directory = self.checkpoint_dir(
             checkpoint.scenario_hash, checkpoint.scheme, checkpoint.seed
         )
-        directory.mkdir(parents=True, exist_ok=True)
-        save_weights(directory / "weights.npz", checkpoint.weights)
-        _write_json(directory / "state.json", checkpoint.to_state_dict())
-        return directory
+        if self._retains_history:
+            target = directory / f"round-{int(checkpoint.round_index)}"
+        else:
+            target = directory
+        target.mkdir(parents=True, exist_ok=True)
+        save_weights(target / "weights.npz", checkpoint.weights)
+        _write_json(target / "state.json", checkpoint.to_state_dict())
+        if self._retains_history:
+            self._prune_checkpoints(directory)
+        return target
+
+    def _prune_checkpoints(self, directory: Path) -> None:
+        """Drop round checkpoints outside the retention set."""
+        rounds = sorted(self._round_dirs(directory))
+        keep = set(rounds[-self.keep_last_n :])
+        if self.keep_every_k is not None:
+            keep.update(r for r in rounds if r % self.keep_every_k == 0)
+        for r in rounds:
+            if r not in keep:
+                shutil.rmtree(directory / f"round-{r}")
+
+    @staticmethod
+    def _round_dirs(directory: Path) -> list[int]:
+        """Round indices with a committed per-round checkpoint."""
+        if not directory.is_dir():
+            return []
+        out = []
+        for child in directory.iterdir():
+            if (
+                child.is_dir()
+                and child.name.startswith("round-")
+                and child.name[6:].isdigit()
+                and (child / "state.json").exists()
+            ):
+                out.append(int(child.name[6:]))
+        return out
+
+    def checkpoint_rounds(
+        self, scenario: Scenario | str, scheme: str, seed: int
+    ) -> list[int]:
+        """Rounds with a retained checkpoint for one cell, ascending.
+
+        Flat (legacy / default-policy) checkpoints report their stored
+        ``round_index``, so the result is layout-independent.
+        """
+        directory = self.checkpoint_dir(scenario, scheme, seed)
+        rounds = sorted(self._round_dirs(directory))
+        if not rounds and (directory / "state.json").exists():
+            rounds = [int(_read_json(directory / "state.json")["round_index"])]
+        return rounds
 
     def load_checkpoint(
-        self, scenario: Scenario | str, scheme: str, seed: int
+        self,
+        scenario: Scenario | str,
+        scheme: str,
+        seed: int,
+        round_index: int | None = None,
     ) -> Checkpoint | None:
-        """The cell's latest checkpoint, or ``None`` when none exists."""
+        """A cell's checkpoint, or ``None`` when none exists.
+
+        Defaults to the latest retained round; ``round_index`` picks a
+        specific retained one (:meth:`checkpoint_rounds` lists them) and
+        raises when that round was pruned or never written.  Both layouts
+        load: per-round subdirectories when retention kept them, else the
+        flat ``state.json`` legacy stores (and the default policy) write.
+        """
         directory = self.checkpoint_dir(scenario, scheme, seed)
-        state_path = directory / "state.json"
+        rounds = self._round_dirs(directory)
+        if round_index is not None:
+            if round_index not in rounds:
+                raise StoreError(
+                    f"no retained checkpoint at round {round_index} for cell "
+                    f"({scheme}, seed {seed}); retained: {sorted(rounds)}"
+                )
+            target = directory / f"round-{int(round_index)}"
+        elif rounds:
+            target = directory / f"round-{max(rounds)}"
+        else:
+            target = directory
+        state_path = target / "state.json"
         if not state_path.exists():
             return None
         data = _read_json(state_path)
-        weights = load_weights(directory / "weights.npz")
+        weights = load_weights(target / "weights.npz")
         checkpoint = Checkpoint.from_state_dict(data, weights)
         expected = self._hash_of(scenario)
         if checkpoint.scenario_hash != expected:
             raise StoreError(
-                f"checkpoint {directory} belongs to scenario "
+                f"checkpoint {target} belongs to scenario "
                 f"{checkpoint.scenario_hash[:12]}…, not {expected[:12]}…"
             )
         return checkpoint

@@ -14,13 +14,16 @@ in N).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from .auction import AuctionOutcome, MultiDimensionalProcurementAuction
 from .bids import Bid
 from .policies import PolicyAction, RoundContext, RoundPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..strategic.policies import BidPolicy
 
 __all__ = ["BiddingAgent", "RoundAccounting", "MechanismRound", "FMoreMechanism"]
 
@@ -124,6 +127,18 @@ class FMoreMechanism:
         The dedicated policy randomness stream (kept apart from the
         training stream so policy draws never perturb bids or tie-breaks).
         Defaults to a fixed-seed generator when policies are present.
+    bid_policies:
+        ``node_id -> BidPolicy`` for the *strategic* (non-truthful) slice
+        of the population (see :mod:`repro.strategic.policies`).  Nodes
+        absent from the mapping bid truthfully through the historical
+        batched path; empty (the default) reproduces it exactly —
+        bitwise, with no extra bookkeeping and no ``bid_payoff`` actions.
+    bidding_rng:
+        The strategic policies' randomness stream (the engine derives it
+        from the ``bidding-{scheme}`` named stream).  Separate from both
+        the training and the round-policy streams, and consumed only by
+        policies that draw.  Defaults to a fixed-seed generator when a
+        strategic slice is present.
     """
 
     def __init__(
@@ -131,13 +146,40 @@ class FMoreMechanism:
         auction: MultiDimensionalProcurementAuction,
         policies: Sequence[RoundPolicy] = (),
         policy_rng: np.random.Generator | None = None,
+        bid_policies: "Mapping[int, BidPolicy] | None" = None,
+        bidding_rng: np.random.Generator | None = None,
     ):
         self.auction = auction
         self.policies = list(policies)
         if policy_rng is None and self.policies:
             policy_rng = np.random.default_rng(0)
         self.policy_rng = policy_rng
+        self.bid_policies: dict[int, "BidPolicy"] = dict(bid_policies or {})
+        if bidding_rng is None and self.bid_policies:
+            bidding_rng = np.random.default_rng(0)
+        self.bidding_rng = bidding_rng
         self.history: list[MechanismRound] = []
+        # Per-round strategic bookkeeping (populated by _collect_bids only
+        # when a strategic slice exists): (policy, [(node_id, cost,
+        # submitted)]) per group in deterministic agent order, plus the
+        # truthful remainder's entries under a None policy.
+        self._strategic_round: list[tuple["BidPolicy | None", list[tuple[int, float, bool]]]] = []
+
+    @property
+    def bid_policy_seq(self) -> list["BidPolicy"]:
+        """The distinct strategic policies, in first-node order.
+
+        Deterministic (dicts preserve insertion order, and the engine
+        assigns nodes in mix order), so checkpoint ``bid_policy_states``
+        align positionally across save and restore.
+        """
+        return list(dict.fromkeys(self.bid_policies.values()))
+
+    def attach_bid_policy(self, node_id: int, policy: "BidPolicy") -> None:
+        """Route one node through ``policy`` (the gym's injection point)."""
+        self.bid_policies[int(node_id)] = policy
+        if self.bidding_rng is None:
+            self.bidding_rng = np.random.default_rng(0)
 
     def run_round(
         self,
@@ -206,6 +248,8 @@ class FMoreMechanism:
             abstained,
             actions=ctx.actions if ctx is not None else [],
         )
+        if self.bid_policies:
+            self._dispatch_bid_feedback(record)
         if ctx is not None:
             for policy in self.policies:
                 policy.after_aggregate(ctx, record)
@@ -224,19 +268,38 @@ class FMoreMechanism:
         stream to calling ``make_bid`` per agent); the solver maths — the
         expensive part — is deferred and executed as one
         ``EquilibriumSolver.bid_batch`` call per distinct solver.
+
+        With a strategic slice (``bid_policies``), agents are partitioned
+        per policy: truthful nodes keep the historical per-solver batch
+        exactly, while each policy group is equilibrium-priced the same
+        way and then handed to :meth:`~repro.strategic.policies.BidPolicy.shade`
+        — still one batch call per (policy, solver) pair.  The training
+        RNG stream is consumed in the identical order either way.
         """
         entries: list[tuple[BiddingAgent, float, np.ndarray] | tuple[BiddingAgent, Bid | None]] = []
         groups: dict[int, tuple[object, list[int]]] = {}
+        policy_groups: dict[tuple[int, int], tuple[object, object, list[int]]] = {}
+        has_strategic = bool(self.bid_policies)
+        self._strategic_round = []
         for i, agent in enumerate(agents):
             solver = getattr(agent, "solver", None)
             if _batch_safe(type(agent)) and hasattr(solver, "bid_batch"):
                 theta, capacity = agent.bid_inputs(round_index, rng)
                 entries.append((agent, float(theta), np.asarray(capacity, dtype=float)))
-                groups.setdefault(id(solver), (solver, []))[1].append(i)
+                policy = (
+                    self.bid_policies.get(agent.node_id) if has_strategic else None
+                )
+                if policy is None:
+                    groups.setdefault(id(solver), (solver, []))[1].append(i)
+                else:
+                    policy_groups.setdefault(
+                        (id(policy), id(solver)), (policy, solver, [])
+                    )[2].append(i)
             else:
                 entries.append((agent, agent.make_bid(round_index, rng)))
 
         resolved: dict[int, Bid | None] = {}
+        truthful_info: list[tuple[int, float, bool]] = []
         for solver, idxs in groups.values():
             thetas = np.asarray([entries[i][1] for i in idxs], dtype=float)
             caps = np.vstack([entries[i][2] for i in idxs])
@@ -249,12 +312,145 @@ class FMoreMechanism:
                     resolved[i] = None
                 else:
                     resolved[i] = Bid(agent.node_id, qualities[j].copy(), float(payments[j]))
+                if has_strategic:
+                    truthful_info.append(
+                        (agent.node_id, float(costs[j]), resolved[i] is not None)
+                    )
+
+        for policy, solver, idxs in policy_groups.values():
+            from ..strategic.policies import BidBatch
+
+            thetas = np.asarray([entries[i][1] for i in idxs], dtype=float)
+            caps = np.vstack([entries[i][2] for i in idxs])
+            qualities, payments, costs = solver.bid_batch(thetas, caps, with_costs=True)
+            batch = BidBatch(
+                round_index=round_index,
+                node_ids=[entries[i][0].node_id for i in idxs],
+                thetas=thetas,
+                capacities=caps,
+                qualities=qualities,
+                payments=payments,
+                costs=costs,
+                bounds=np.asarray(solver.quality_bounds, dtype=float),
+            )
+            shaded_q, shaded_p = policy.shade(batch, self.bidding_rng)
+            if shaded_q is qualities:
+                shaded_costs = costs
+            else:
+                shaded_costs = np.asarray(
+                    [
+                        solver.cost.cost(shaded_q[j], thetas[j])
+                        for j in range(len(idxs))
+                    ],
+                    dtype=float,
+                )
+            enforce_ir = bool(getattr(policy, "enforce_ir", True))
+            group_info: list[tuple[int, float, bool]] = []
+            for j, i in enumerate(idxs):
+                agent = entries[i][0]
+                min_margin = float(getattr(agent, "min_margin", 0.0))
+                margin = float(shaded_p[j]) - float(shaded_costs[j])
+                if enforce_ir and margin < min_margin - 1e-12:
+                    resolved[i] = None
+                else:
+                    resolved[i] = Bid(
+                        agent.node_id,
+                        np.asarray(shaded_q[j], dtype=float).copy(),
+                        float(shaded_p[j]),
+                    )
+                group_info.append(
+                    (agent.node_id, float(shaded_costs[j]), resolved[i] is not None)
+                )
+            self._strategic_round.append((policy, group_info))
+
+        if has_strategic:
+            self._strategic_round.append((None, truthful_info))
 
         out: list[tuple[Bid | None, int]] = []
         for i, entry in enumerate(entries):
             bid = resolved[i] if i in resolved else entry[1]
             out.append((bid, entry[0].node_id))
         return out
+
+    def _dispatch_bid_feedback(self, record: MechanismRound) -> None:
+        """Feed the round's outcome back to the strategic policies.
+
+        Builds one :class:`~repro.strategic.policies.RoundFeedback` per
+        policy group (win/loss, charged payments, counterfactual
+        threshold = the minimum winning score) and files a single
+        ``bid_payoff`` action aggregating every group's realized payoff —
+        the truthful remainder included, so the IC comparison rides on
+        the round record into manifests and the metrics frame.
+        """
+        from ..strategic.policies import RoundFeedback
+
+        outcome = record.outcome
+        charged = {w.node_id: float(w.charged_payment) for w in outcome.winners}
+        threshold = (
+            min(float(w.score) for w in outcome.winners)
+            if outcome.winners
+            else None
+        )
+        submitted_info = {
+            sb.bid.node_id: (float(sb.score), float(sb.bid.payment))
+            for sb in outcome.scored_bids
+        }
+        groups: dict[str, dict[str, float]] = {}
+        for policy, info in self._strategic_round:
+            if not info:
+                continue
+            node_ids = [node_id for node_id, _, _ in info]
+            costs = np.asarray([cost for _, cost, _ in info], dtype=float)
+            submitted = np.asarray(
+                [node_id in submitted_info for node_id, _, ok in info], dtype=bool
+            )
+            costs = np.where(submitted, costs, 0.0)
+            won = np.asarray([n in charged for n in node_ids], dtype=bool)
+            payments = np.asarray([charged.get(n, 0.0) for n in node_ids])
+            bid_payments = np.asarray(
+                [submitted_info.get(n, (0.0, 0.0))[1] for n in node_ids]
+            )
+            values = np.asarray(
+                [
+                    submitted_info[n][0] + submitted_info[n][1]
+                    if n in submitted_info
+                    else 0.0
+                    for n in node_ids
+                ]
+            )
+            feedback = RoundFeedback(
+                round_index=record.round_index,
+                node_ids=node_ids,
+                submitted=submitted,
+                won=won,
+                payments=payments,
+                costs=costs,
+                values=values,
+                bid_payments=bid_payments,
+                threshold=threshold,
+            )
+            if policy is not None:
+                policy.observe(feedback, self.bidding_rng)
+            payoffs = feedback.payoffs
+            winner_payoffs = payoffs[won]
+            label = "truthful" if policy is None else policy.label
+            groups[label] = {
+                "n": int(len(node_ids)),
+                "bids": int(submitted.sum()),
+                "winners": int(won.sum()),
+                "paid": float(payments.sum()),
+                "cost": float(costs[won].sum()),
+                "payoff": float(payoffs.sum()),
+                "min_payoff": float(winner_payoffs.min()) if won.any() else 0.0,
+            }
+        self._strategic_round = []
+        record.actions.append(
+            PolicyAction(
+                kind="bid_payoff",
+                round_index=record.round_index,
+                payload={"threshold": threshold, "groups": groups},
+            )
+        )
 
     # ------------------------------------------------------------------
     # Aggregate accounting over all rounds (lightweightness evidence)

@@ -39,6 +39,7 @@ __all__ = [
     "MARGIN_METHODS",
     "EXECUTORS",
     "ROUND_POLICIES",
+    "BID_POLICIES",
 ]
 
 
@@ -155,3 +156,8 @@ EXECUTORS = Registry("executor")
 # selection/guidance/audit_blacklist/churn), driven as a pipeline of stage
 # hooks by FMoreMechanism.run_round and addressed by Scenario.policies.
 ROUND_POLICIES = Registry("round policy")
+# Strategic bidding policies (members live in repro.strategic.policies:
+# truthful/fixed_markup/random_jitter/regret_matching/adaptive_heuristic),
+# assigned to population fractions by Scenario.bidding and driven by
+# FMoreMechanism's per-round bid collection.
+BID_POLICIES = Registry("bid policy")

@@ -1,0 +1,60 @@
+"""Strategic bidders: deviation from the equilibrium strategy as data.
+
+The paper *proves* truthful equilibrium bidding optimal (Theorems 1-3);
+this subsystem makes that claim empirical.  It has three layers:
+
+* :mod:`repro.strategic.policies` — the registry-registered
+  ``BID_POLICIES`` family (``truthful``, ``fixed_markup``,
+  ``random_jitter``, ``regret_matching``, ``adaptive_heuristic``,
+  ``external``).  A :class:`~repro.api.scenario.Scenario` assigns
+  policies to population fractions through its ``bidding`` spec and the
+  mechanism partitions bidders per policy — the all-truthful slice keeps
+  the vectorised ``bid_batch`` hot path bitwise-identical to a run with
+  no ``bidding`` spec at all.
+* :mod:`repro.strategic.gym` — :class:`AuctionEnv`, a gym-style
+  environment over ``FMoreEngine.session``: one controlled agent amid a
+  policy-driven population (observation = public round state, action =
+  bid vector, reward = realized payoff).
+* :mod:`repro.analysis.incentive_report` — the IC/IR report sweeping a
+  deviating fraction across policies and schemes (CLI:
+  ``python -m repro report --incentives``).
+"""
+
+from .policies import (
+    BID_POLICIES,
+    AdaptiveHeuristicBidding,
+    BidBatch,
+    BidPolicy,
+    ExternalBidPolicy,
+    FixedMarkupBidding,
+    RandomJitterBidding,
+    RegretMatchingBidding,
+    RoundFeedback,
+    TruthfulBidding,
+    build_bid_policies,
+)
+
+__all__ = [
+    "BID_POLICIES",
+    "BidPolicy",
+    "BidBatch",
+    "RoundFeedback",
+    "TruthfulBidding",
+    "FixedMarkupBidding",
+    "RandomJitterBidding",
+    "RegretMatchingBidding",
+    "AdaptiveHeuristicBidding",
+    "ExternalBidPolicy",
+    "build_bid_policies",
+    "AuctionEnv",
+]
+
+
+def __getattr__(name: str):
+    # AuctionEnv lives in .gym, which imports repro.api.engine; resolving
+    # it lazily keeps `repro.api.scenario -> repro.strategic` cycle-free.
+    if name == "AuctionEnv":
+        from .gym import AuctionEnv
+
+        return AuctionEnv
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,228 @@
+"""A gym-style auction environment over the streaming session API.
+
+:class:`AuctionEnv` wraps one ``(scheme, seed)`` cell of a scenario as a
+sequential decision problem for a *single controlled bidder*: the rest of
+the population bids according to the scenario's ``bidding`` spec (all
+truthful by default), the controlled node's bid is whatever the agent's
+``action`` says, and the reward is that node's realized payoff — payment
+received minus realized cost, zero on a loss.  The observation is the
+*public* round state only (what a real node would know): the advertised
+game, the previous round's clearing threshold and the node's own private
+type and capacity.  Nothing about the other bidders' types or bids leaks.
+
+The env rides the existing machinery end to end — the controlled node is
+routed through an :class:`~repro.strategic.policies.ExternalBidPolicy`
+attached to the cell's :class:`~repro.core.mechanism.FMoreMechanism`, so
+federated training, policy pipelines, manifests and checkpoints all keep
+working.  :meth:`snapshot` / :meth:`restore` delegate to the session's
+checkpoint surface (the external policy's pending action and the bidding
+stream position ride in ``bid_policy_states`` / ``bidding_rng_state``),
+so an env can be frozen mid-episode and resumed bitwise-identically.
+
+>>> env = AuctionEnv(scenario, seed=0, node_id=3)        # doctest: +SKIP
+>>> obs = env.reset()                                    # doctest: +SKIP
+>>> obs, reward, done, info = env.step(obs["equilibrium_payment"] * 1.1)
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..fl.selection import AuctionSelection
+from .policies import ExternalBidPolicy
+
+__all__ = ["AuctionEnv"]
+
+
+class AuctionEnv:
+    """One controlled bidder inside a policy-driven FMore population.
+
+    Parameters
+    ----------
+    scenario:
+        The experiment spec; its ``bidding`` mix drives the *other*
+        bidders (empty = all truthful).
+    scheme:
+        An auction scheme name (``"FMore"`` or ``"PsiFMore"``) — the env
+        needs a mechanism to attach to, so selection-only schemes raise.
+    seed:
+        The cell's seed (drives federation, types and training streams).
+    node_id:
+        The controlled node.  Defaults to the first node of the
+        federation.
+    engine:
+        An optional shared :class:`~repro.api.engine.FMoreEngine`
+        (solver-cache reuse across envs); a private one is built
+        otherwise.
+
+    Episodes run ``scenario.n_rounds`` steps.  Actions are interpreted per
+    step as the controlled node's sealed bid:
+
+    * ``None`` — bid the equilibrium (truthful) quality and payment;
+    * a scalar — ask that payment at the equilibrium quality;
+    * a length ``m + 1`` vector — ``m`` qualities followed by the asked
+      payment (qualities are clipped to the node's feasible box).
+    """
+
+    def __init__(
+        self,
+        scenario,
+        scheme: str = "FMore",
+        seed: int = 0,
+        node_id: int | None = None,
+        engine=None,
+    ):
+        if engine is None:
+            from ..api.engine import FMoreEngine
+
+            engine = FMoreEngine()
+        self.engine = engine
+        self.scenario = scenario
+        self.scheme = str(scheme)
+        self.seed = int(seed)
+        self._requested_node_id = node_id
+        self.session = None
+        self.node_id: int | None = None
+        self._policy: ExternalBidPolicy | None = None
+        self._agent = None
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> dict[str, Any]:
+        """Start a fresh episode; returns the initial observation."""
+        self.session = self.engine.session(self.scenario, self.scheme, self.seed)
+        self._bind(self._requested_node_id)
+        return self.observation()
+
+    def _bind(self, node_id: int | None) -> None:
+        """Attach the external policy to the controlled node."""
+        selection = self.session.trainer.selection
+        if not isinstance(selection, AuctionSelection):
+            raise ValueError(
+                f"scheme {self.scheme!r} runs no auction mechanism; "
+                "AuctionEnv needs an auction scheme (FMore/PsiFMore)"
+            )
+        self.mechanism = selection.mechanism
+        agents = {a.node_id: a for a in selection.agents}
+        if node_id is None:
+            node_id = selection.agents[0].node_id
+        if node_id not in agents:
+            raise ValueError(
+                f"node_id {node_id} is not in the federation "
+                f"({len(agents)} nodes)"
+            )
+        self.node_id = int(node_id)
+        self._agent = agents[self.node_id]
+        self._policy = ExternalBidPolicy()
+        self._policy.label = "controlled"
+        self.mechanism.attach_bid_policy(self.node_id, self._policy)
+
+    @property
+    def done(self) -> bool:
+        return self.session is None or self.session.rounds_remaining <= 0
+
+    def observation(self) -> dict[str, Any]:
+        """The controlled node's public view of the upcoming round."""
+        if self.session is None:
+            raise RuntimeError("call reset() before observing")
+        solver = self._agent.solver
+        last = self.mechanism.history[-1] if self.mechanism.history else None
+        threshold = None
+        if last is not None and last.outcome.winners:
+            threshold = min(float(w.score) for w in last.outcome.winners)
+        quality, payment = solver.bid(self._agent.theta)
+        return {
+            "round_index": self.session.rounds_run + 1,
+            "rounds_remaining": self.session.rounds_remaining,
+            "n_clients": self.scenario.n_clients,
+            "k_winners": self.scenario.k_winners,
+            "theta": float(self._agent.theta),
+            # Capacity as of the node's last availability draw (its nominal
+            # endowment before round one) — the node's own knowledge, no RNG.
+            "capacity": np.asarray(
+                self._agent.quality_extractor(self._agent.last_available),
+                dtype=float,
+            ),
+            "equilibrium_quality": np.asarray(quality, dtype=float),
+            "equilibrium_payment": float(payment),
+            "last_threshold": threshold,
+        }
+
+    def step(self, action=None) -> tuple[dict[str, Any], float, bool, dict[str, Any]]:
+        """Submit ``action`` as this round's bid; run the round.
+
+        Returns ``(observation, reward, done, info)`` in the familiar gym
+        shape.  ``info`` carries whether the bid won, the charged payment
+        and the full :class:`~repro.api.engine.RoundEvent`.
+        """
+        if self.session is None:
+            raise RuntimeError("call reset() before stepping")
+        if self.done:
+            raise RuntimeError("episode is over; call reset()")
+        quality, payment = self._parse_action(action)
+        if payment is not None or quality is not None:
+            self._policy.set_action(self.node_id, payment, quality)
+        event = next(self.session)
+        feedback = self._policy.last_feedback
+        reward = 0.0
+        won = False
+        paid = 0.0
+        if feedback is not None:
+            idx = feedback.node_ids.index(self.node_id)
+            won = bool(feedback.won[idx])
+            paid = float(feedback.payments[idx])
+            reward = float(feedback.payoffs[idx])
+        info = {"won": won, "paid": paid, "event": event}
+        return self.observation() if not self.done else {}, reward, self.done, info
+
+    def _parse_action(
+        self, action
+    ) -> tuple[list[float] | None, float | None]:
+        if action is None:
+            return None, None
+        arr = np.atleast_1d(np.asarray(action, dtype=float))
+        if arr.size == 1:
+            return None, float(arr[0])
+        m = len(self._agent.solver.quality_bounds)
+        if arr.size != m + 1:
+            raise ValueError(
+                f"action must be a scalar payment or a length-{m + 1} "
+                f"(qualities + payment) vector; got size {arr.size}"
+            )
+        return [float(v) for v in arr[:-1]], float(arr[-1])
+
+    # ------------------------------------------------------------------
+    # Checkpointing (bitwise resume, via the session surface)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """A :class:`~repro.api.store.Checkpoint` of the episode so far."""
+        if self.session is None:
+            raise RuntimeError("call reset() before snapshotting")
+        return self.session.snapshot()
+
+    def restore(self, checkpoint) -> dict[str, Any]:
+        """Resume an episode from :meth:`snapshot`; returns the observation.
+
+        The controlled node's policy state (pending action) and the
+        bidding stream position ride in the checkpoint, so the resumed
+        episode continues bitwise-identically.
+        """
+        self.session = self.engine.session(self.scenario, self.scheme, self.seed)
+        self._bind(self._requested_node_id)
+        self.session.restore(checkpoint)
+        return self.observation()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = (
+            "unstarted"
+            if self.session is None
+            else f"round {self.session.rounds_run}/{self.scenario.n_rounds}"
+        )
+        return (
+            f"AuctionEnv(scheme={self.scheme!r}, seed={self.seed}, "
+            f"node={self.node_id}, {where})"
+        )

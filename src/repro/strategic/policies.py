@@ -1,0 +1,522 @@
+"""The ``BID_POLICIES`` family: how a node deviates from equilibrium.
+
+Every node in the baseline repro answers a bid ask with the closed-form
+equilibrium bid (:meth:`repro.mec.node.EdgeNode.make_bid`).  A
+:class:`BidPolicy` is a *strategic transform* of that bid: the mechanism
+still prices a policy's nodes through one vectorised
+``EquilibriumSolver.bid_batch`` call, then hands the whole batch to
+:meth:`BidPolicy.shade` which may re-price (shade payments) or re-declare
+(perturb qualities) before the sealed bids are submitted.  After winner
+determination the mechanism feeds the realized outcome back through
+:meth:`BidPolicy.observe` — win/loss, charged payments, and the round's
+minimum winning score as a counterfactual threshold — so adaptive
+policies (regret matching, heuristics) learn across rounds.
+
+Contracts:
+
+* ``truthful`` is the identity; nodes a scenario leaves truthful are not
+  routed through a policy at all, so scenarios without a ``bidding``
+  spec are bitwise-identical to the historical protocol.
+* Policy randomness comes from the dedicated ``bidding-{scheme}`` stream
+  the engine passes in — never from the training stream — so a strategic
+  mix leaves the federation, theta draws and tie-breaks untouched.
+* Stateful policies round-trip **all** observable state through
+  :meth:`state_dict` / :meth:`load_state` (the same contract as
+  :class:`repro.core.policies.RoundPolicy`), so checkpointed sessions
+  resume bitwise-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.registry import BID_POLICIES
+
+__all__ = [
+    "BID_POLICIES",
+    "BidBatch",
+    "RoundFeedback",
+    "BidPolicy",
+    "TruthfulBidding",
+    "FixedMarkupBidding",
+    "RandomJitterBidding",
+    "RegretMatchingBidding",
+    "AdaptiveHeuristicBidding",
+    "ExternalBidPolicy",
+    "build_bid_policies",
+]
+
+
+@dataclass
+class BidBatch:
+    """One policy group's equilibrium-priced bids, pre-submission.
+
+    Arrays are aligned: row ``j`` is node ``node_ids[j]`` with its round
+    type ``thetas[j]``, capacity cap ``capacities[j]``, and the
+    capacity-capped equilibrium bid ``(qualities[j], payments[j])`` whose
+    true cost is ``costs[j]``.  ``bounds`` is the game's per-dimension
+    ``[lo, hi]`` quality box — shaded qualities must stay inside
+    ``[lo, min(capacity, hi)]``.
+    """
+
+    round_index: int
+    node_ids: list[int]
+    thetas: np.ndarray
+    capacities: np.ndarray
+    qualities: np.ndarray
+    payments: np.ndarray
+    costs: np.ndarray
+    bounds: np.ndarray
+
+    def clip_qualities(self, qualities: np.ndarray) -> np.ndarray:
+        """Clip declared qualities into the feasible box (per node)."""
+        lo = self.bounds[:, 0]
+        hi = np.minimum(self.capacities, self.bounds[:, 1])
+        return np.clip(qualities, lo, hi)
+
+
+@dataclass
+class RoundFeedback:
+    """What one policy's nodes learned from a round's outcome.
+
+    Arrays align with ``node_ids``; ``submitted`` marks nodes whose bid
+    reached the auction (IR abstentions are ``False``).  ``values`` is
+    the quasi-linear value part of each submitted bid — ``score +
+    payment``, i.e. ``s(q)`` — so a counterfactual re-pricing to ``p'``
+    scores ``values - p'`` against ``threshold`` (the round's minimum
+    winning score; ``None`` when nobody won, in which case any submitted
+    bid would have won).
+    """
+
+    round_index: int
+    node_ids: list[int]
+    submitted: np.ndarray
+    won: np.ndarray
+    payments: np.ndarray  # charged payment; 0.0 for losers/abstainers
+    costs: np.ndarray     # true cost of the submitted bid; 0.0 if not submitted
+    values: np.ndarray    # s(q) of the submitted bid; 0.0 if not submitted
+    bid_payments: np.ndarray  # the submitted ask; 0.0 if not submitted
+    threshold: float | None
+
+    @property
+    def payoffs(self) -> np.ndarray:
+        """Realized per-node payoff: ``payment - cost`` for winners, else 0."""
+        return np.where(self.won, self.payments - self.costs, 0.0)
+
+    def would_win(self, payments: np.ndarray) -> np.ndarray:
+        """Counterfactual win mask for re-priced asks (quasi-linear score)."""
+        if self.threshold is None:
+            return np.asarray(self.submitted, dtype=bool)
+        scores = self.values - payments
+        return self.submitted & (scores >= self.threshold - 1e-12)
+
+
+class BidPolicy:
+    """Base strategic policy: the identity transform.
+
+    Subclasses override :meth:`shade` (re-price/re-declare a batch of
+    equilibrium bids) and, if they learn, :meth:`observe` plus the
+    :meth:`state_dict` / :meth:`load_state` pair.  ``enforce_ir``
+    controls whether the mechanism still applies each node's
+    ``min_margin`` abstention check to the *shaded* bid; policies that
+    deliberately explore loss-making bids set it ``False``.
+    """
+
+    name: str = "base"
+    enforce_ir: bool = True
+
+    def __init__(self) -> None:
+        # Display label for metrics/reports; the engine overrides it from
+        # the bidding spec's optional "label" key.
+        self.label = self.name
+
+    def shade(
+        self, batch: BidBatch, rng: np.random.Generator | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the ``(qualities, payments)`` actually submitted."""
+        return batch.qualities, batch.payments
+
+    def observe(
+        self, feedback: RoundFeedback, rng: np.random.Generator | None
+    ) -> None:
+        """Per-round outcome feedback (win/payment/counterfactuals)."""
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of all observable state (default: none)."""
+        return {}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Install a :meth:`state_dict`; unknown keys fail loudly."""
+        if state:
+            raise ValueError(
+                f"bid policy {self.name!r} is stateless but was given state "
+                f"keys {sorted(state)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(label={self.label!r})"
+
+
+@BID_POLICIES.register("truthful")
+class TruthfulBidding(BidPolicy):
+    """Bid the capacity-capped equilibrium strategy unchanged (the default).
+
+    Nodes a scenario leaves truthful are not routed through a policy
+    object at all — this class exists so an explicit ``truthful`` mix
+    entry (e.g. as a labelled control group) is addressable.
+    """
+
+    name = "truthful"
+
+
+@BID_POLICIES.register("fixed_markup")
+class FixedMarkupBidding(BidPolicy):
+    """Shade the ask by a constant relative markup: ``p -> p * (1 + markup)``.
+
+    The simplest deviation: demand more than the equilibrium price while
+    declaring the same quality.  Negative markups underbid (buy wins at
+    reduced — possibly negative — margin).
+    """
+
+    name = "fixed_markup"
+
+    def __init__(self, markup: float = 0.1):
+        super().__init__()
+        markup = float(markup)
+        if markup <= -1.0:
+            raise ValueError("markup must be > -1 (asks stay positive)")
+        self.markup = markup
+        self.enforce_ir = markup >= 0.0
+
+    def shade(self, batch, rng):
+        return batch.qualities, batch.payments * (1.0 + self.markup)
+
+
+@BID_POLICIES.register("random_jitter")
+class RandomJitterBidding(BidPolicy):
+    """Log-normal noise on the ask (and optionally the declared quality).
+
+    ``p -> p * exp(payment_scale * z)`` with ``z ~ N(0, 1)`` per node per
+    round; ``quality_scale > 0`` additionally perturbs the declared
+    quality (clipped back into the feasible capacity box).  Models noisy
+    best-response play; with ``enforce_ir=False`` the jitter may submit
+    below-cost asks, which is exactly what the IR report measures.
+    """
+
+    name = "random_jitter"
+
+    def __init__(
+        self,
+        payment_scale: float = 0.05,
+        quality_scale: float = 0.0,
+        enforce_ir: bool = True,
+    ):
+        super().__init__()
+        if payment_scale < 0.0 or quality_scale < 0.0:
+            raise ValueError("jitter scales must be >= 0")
+        self.payment_scale = float(payment_scale)
+        self.quality_scale = float(quality_scale)
+        self.enforce_ir = bool(enforce_ir)
+
+    def shade(self, batch, rng):
+        n = len(batch.node_ids)
+        payments = batch.payments * np.exp(
+            self.payment_scale * rng.standard_normal(n)
+        )
+        qualities = batch.qualities
+        if self.quality_scale > 0.0:
+            factors = np.exp(
+                self.quality_scale * rng.standard_normal(batch.qualities.shape)
+            )
+            qualities = batch.clip_qualities(batch.qualities * factors)
+        return qualities, payments
+
+
+@BID_POLICIES.register("regret_matching")
+class RegretMatchingBidding(BidPolicy):
+    """Per-node regret matching over a discrete markup menu.
+
+    Each node keeps cumulative regrets against a menu of relative markups
+    and each round plays markup ``a`` with probability proportional to
+    the positive part of its regret (uniform while all regrets are
+    non-positive).  After winner determination the counterfactual payoff
+    of every alternative markup is evaluated against the round's minimum
+    winning score — re-pricing changes a quasi-linear score one-for-one —
+    and regrets are updated with the realized-vs-counterfactual gap.
+    Hart & Mas-Colell's guarantee: the empirical play converges to the
+    set of coarse correlated equilibria, so *if* truthful bidding is
+    optimal, regrets against ``markup=0`` stay dominant.
+    """
+
+    name = "regret_matching"
+
+    def __init__(self, markups: Sequence[float] = (0.0, 0.05, 0.1, 0.2)):
+        super().__init__()
+        menu = [float(m) for m in markups]
+        if not menu or any(m <= -1.0 for m in menu):
+            raise ValueError("markups must be a non-empty menu of values > -1")
+        if len(set(menu)) != len(menu):
+            raise ValueError("markups must be distinct")
+        self.markups = menu
+        # node_id -> cumulative regret per menu entry
+        self._regrets: dict[int, list[float]] = {}
+        # node_id -> (chosen menu index, base equilibrium ask) for the
+        # round in flight; cleared by observe(), so it is empty at every
+        # between-rounds checkpoint boundary.
+        self._pending: dict[int, tuple[int, float]] = {}
+
+    def _choice_probs(self, node_id: int) -> np.ndarray:
+        regrets = np.asarray(
+            self._regrets.get(node_id, [0.0] * len(self.markups)), dtype=float
+        )
+        positive = np.clip(regrets, 0.0, None)
+        total = positive.sum()
+        if total <= 0.0:
+            return np.full(len(self.markups), 1.0 / len(self.markups))
+        return positive / total
+
+    def shade(self, batch, rng):
+        n = len(batch.node_ids)
+        payments = np.array(batch.payments, dtype=float)
+        draws = rng.random(n)
+        for j, node_id in enumerate(batch.node_ids):
+            probs = self._choice_probs(node_id)
+            choice = int(np.searchsorted(np.cumsum(probs), draws[j]))
+            choice = min(choice, len(self.markups) - 1)
+            self._pending[node_id] = (choice, float(batch.payments[j]))
+            payments[j] = batch.payments[j] * (1.0 + self.markups[choice])
+        return batch.qualities, payments
+
+    def observe(self, feedback, rng):
+        realized = feedback.payoffs
+        for j, node_id in enumerate(feedback.node_ids):
+            pending = self._pending.pop(node_id, None)
+            if pending is None or not feedback.submitted[j]:
+                continue
+            choice, base = pending
+            regrets = self._regrets.setdefault(
+                node_id, [0.0] * len(self.markups)
+            )
+            cost = float(feedback.costs[j])
+            value = float(feedback.values[j])
+            for a, markup in enumerate(self.markups):
+                if a == choice:
+                    continue
+                ask = base * (1.0 + markup)
+                wins = (
+                    feedback.threshold is None
+                    or value - ask >= feedback.threshold - 1e-12
+                )
+                counterfactual = (ask - cost) if wins else 0.0
+                regrets[a] += counterfactual - float(realized[j])
+
+    def state_dict(self) -> dict:
+        return {
+            "regrets": {str(k): list(v) for k, v in self._regrets.items()},
+            "pending": {
+                str(k): [int(c), float(b)] for k, (c, b) in self._pending.items()
+            },
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        unknown = sorted(set(state) - {"regrets", "pending"})
+        if unknown:
+            raise ValueError(
+                f"unknown regret_matching state keys {unknown}"
+            )
+        self._regrets = {
+            int(k): [float(x) for x in v]
+            for k, v in dict(state.get("regrets", {})).items()
+        }
+        self._pending = {
+            int(k): (int(v[0]), float(v[1]))
+            for k, v in dict(state.get("pending", {})).items()
+        }
+
+
+@BID_POLICIES.register("adaptive_heuristic")
+class AdaptiveHeuristicBidding(BidPolicy):
+    """Markup shaped by urgency, relative capacity, and wait time.
+
+    Each node tracks how long it has waited since its last win; the
+    effective markup is
+
+    ``m = base_markup * (1 + capacity_weight * z) - wait_weight *
+    base_markup * u``
+
+    where ``z`` is the node's mean capacity relative to its group's
+    round mean (big nodes demand more) and ``u = min(wait / wait_horizon,
+    1)`` is its urgency (the longer the dry spell, the more aggressively
+    it underbids).  ``urgency_weight`` bounds how far below the
+    equilibrium ask a desperate node goes: ``m`` is clipped to
+    ``[-urgency_weight * base_markup, +inf)``, so an urgent node may bid
+    below cost — an IR-relevant deviation.
+    """
+
+    name = "adaptive_heuristic"
+    enforce_ir = False
+
+    def __init__(
+        self,
+        base_markup: float = 0.15,
+        urgency_weight: float = 0.5,
+        capacity_weight: float = 0.25,
+        wait_weight: float = 1.0,
+        wait_horizon: int = 5,
+    ):
+        super().__init__()
+        if base_markup <= 0.0:
+            raise ValueError("base_markup must be > 0")
+        if min(urgency_weight, capacity_weight, wait_weight) < 0.0:
+            raise ValueError("weights must be >= 0")
+        if wait_horizon < 1:
+            raise ValueError("wait_horizon must be >= 1")
+        self.base_markup = float(base_markup)
+        self.urgency_weight = float(urgency_weight)
+        self.capacity_weight = float(capacity_weight)
+        self.wait_weight = float(wait_weight)
+        self.wait_horizon = int(wait_horizon)
+        self._waits: dict[int, int] = {}
+
+    def shade(self, batch, rng):
+        mean_caps = batch.capacities.mean(axis=1)
+        group_mean = float(mean_caps.mean()) or 1.0
+        z = mean_caps / group_mean - 1.0
+        waits = np.asarray(
+            [self._waits.get(node_id, 0) for node_id in batch.node_ids],
+            dtype=float,
+        )
+        urgency = np.minimum(waits / self.wait_horizon, 1.0)
+        markup = (
+            self.base_markup * (1.0 + self.capacity_weight * z)
+            - self.wait_weight * self.base_markup * urgency
+        )
+        markup = np.clip(markup, -self.urgency_weight * self.base_markup, None)
+        return batch.qualities, batch.payments * (1.0 + markup)
+
+    def observe(self, feedback, rng):
+        for j, node_id in enumerate(feedback.node_ids):
+            if feedback.won[j]:
+                self._waits[node_id] = 0
+            else:
+                self._waits[node_id] = self._waits.get(node_id, 0) + 1
+
+    def state_dict(self) -> dict:
+        return {"waits": {str(k): int(v) for k, v in self._waits.items()}}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        unknown = sorted(set(state) - {"waits"})
+        if unknown:
+            raise ValueError(f"unknown adaptive_heuristic state keys {unknown}")
+        self._waits = {
+            int(k): int(v) for k, v in dict(state.get("waits", {})).items()
+        }
+
+
+@BID_POLICIES.register("external")
+class ExternalBidPolicy(BidPolicy):
+    """A bid set from *outside* the mechanism — the gym's control surface.
+
+    :class:`repro.strategic.gym.AuctionEnv` attaches one of these to its
+    controlled node and writes the agent's action into :attr:`pending`
+    before advancing the round; nodes with no pending action bid
+    truthfully.  The last round's realized feedback is kept on
+    :attr:`last_feedback` for the env to turn into a reward.  IR is not
+    enforced — a learning agent must be allowed to explore losing bids.
+    """
+
+    name = "external"
+    enforce_ir = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        # node_id -> (quality vector or None, payment or None); None keeps
+        # the equilibrium value for that half of the bid.
+        self.pending: dict[int, tuple[list[float] | None, float | None]] = {}
+        self.last_feedback: RoundFeedback | None = None
+
+    def set_action(
+        self,
+        node_id: int,
+        payment: float | None,
+        quality: Sequence[float] | None = None,
+    ) -> None:
+        self.pending[int(node_id)] = (
+            None if quality is None else [float(q) for q in quality],
+            None if payment is None else float(payment),
+        )
+
+    def shade(self, batch, rng):
+        qualities = np.array(batch.qualities, dtype=float)
+        payments = np.array(batch.payments, dtype=float)
+        for j, node_id in enumerate(batch.node_ids):
+            action = self.pending.pop(node_id, None)
+            if action is None:
+                continue
+            quality, payment = action
+            if quality is not None:
+                qualities[j] = np.asarray(quality, dtype=float)
+            if payment is not None:
+                payments[j] = payment
+        return batch.clip_qualities(qualities), payments
+
+    def observe(self, feedback, rng):
+        self.last_feedback = feedback
+
+    def state_dict(self) -> dict:
+        return {
+            "pending": {
+                str(k): [q, p] for k, (q, p) in self.pending.items()
+            }
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        unknown = sorted(set(state) - {"pending"})
+        if unknown:
+            raise ValueError(f"unknown external state keys {unknown}")
+        self.pending = {
+            int(k): (
+                None if v[0] is None else [float(q) for q in v[0]],
+                None if v[1] is None else float(v[1]),
+            )
+            for k, v in dict(state.get("pending", {})).items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Spec -> per-node assignment (the engine's wiring helper)
+# ----------------------------------------------------------------------
+def build_bid_policies(
+    mix: Sequence[Mapping[str, Any]], node_ids: Sequence[int]
+) -> dict[int, BidPolicy]:
+    """Assign strategic policies to population fractions, deterministically.
+
+    ``mix`` entries are ``{"name": <BID_POLICIES entry>, "fraction": f,
+    "label": ..., **params}``; each entry claims ``round(f * N)`` nodes
+    in ``node_ids`` order (contiguous blocks from the front — node order
+    is deterministic per federation, so the assignment is too).  The
+    remainder stays truthful with *no* policy attached: truthful nodes
+    ride the untouched batched hot path.  Entries naming ``truthful``
+    are skipped the same way unless they carry a custom ``label`` (a
+    labelled truthful control group reports separately).
+    """
+    assignments: dict[int, BidPolicy] = {}
+    cursor = 0
+    n = len(node_ids)
+    for entry in mix:
+        params = {str(k): v for k, v in entry.items()}
+        fraction = float(params.pop("fraction"))
+        label = params.pop("label", None)
+        count = min(int(round(fraction * n)), n - cursor)
+        block = list(node_ids[cursor : cursor + count])
+        cursor += count
+        if params.get("name") == "truthful" and label is None:
+            continue  # identity with no reporting label: stay on the hot path
+        policy = BID_POLICIES.create(params)
+        policy.label = str(label) if label is not None else policy.name
+        for node_id in block:
+            assignments[int(node_id)] = policy
+    return assignments
