@@ -1,22 +1,26 @@
-"""Perf-trajectory gate: compare two ``BENCH_grid_build.json`` artifacts.
+"""Perf-trajectory gate: compare two benchmark JSON artifacts.
 
 The ``bench-smoke`` CI job uploads the execution-layer timings of every
-commit; this script turns that stream of artifacts into a *tracked
-trajectory* by comparing the current run against the previous one and
-failing on a regression beyond the allowed band.
+commit (``BENCH_grid_build.json`` and ``BENCH_hier_round.json``); this
+script turns that stream of artifacts into a *tracked trajectory* by
+comparing the current run against the previous one and failing on a
+regression beyond the allowed band.
 
-Three sections are gated — the pure-NumPy hot paths, which are the
-stablest timings in the artifact:
+The gated sections are the pure-NumPy hot paths, the stablest timings in
+each artifact:
 
 * ``grid_build.<family>.batch_seconds`` — the vectorised strategy-table
   build per closed-form family,
 * ``bid_batch.batch_seconds`` — whole-population bid pricing,
-* ``round.seconds`` — one full auction round through the mechanism.
+* ``round.seconds`` — one full auction round through the mechanism,
+* ``hier_round.<n>.seconds`` — one full two-tier hierarchical round per
+  population size (``bench_hierarchical.py``).
 
-The sweep section trains neural nets and is reported but not gated.  A
-missing/corrupt previous artifact is not an error: the first run of a
-branch has nothing to compare against, and a newly-added gate starts its
-own trajectory.
+The sweep section trains neural nets and the flat-round baseline of the
+hierarchical bench walks agents in Python — both are reported but not
+gated.  A missing/corrupt previous artifact is not an error: the first
+run of a branch has nothing to compare against, and a newly-added gate
+starts its own trajectory.
 
 Usage::
 
@@ -50,7 +54,8 @@ def _gated_timings(data: dict) -> dict[str, float]:
 
     Labels are stable across commits so old and new artifacts align:
     ``grid:<family>`` per closed-form family, plus ``bid_batch`` and
-    ``round`` (absent in pre-extension artifacts — tolerated, each gate
+    ``round``, plus ``hier:<n>`` per population size of the hierarchical
+    bench (absent in pre-extension artifacts — tolerated, each gate
     starts its own trajectory).
     """
     out: dict[str, float] = {}
@@ -60,6 +65,10 @@ def _gated_timings(data: dict) -> dict[str, float]:
         out["bid_batch"] = float(data["bid_batch"]["batch_seconds"])
     if "round" in data:
         out["round"] = float(data["round"]["seconds"])
+    for n, row in sorted(
+        data.get("hier_round", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        out[f"hier:{n}"] = float(row["seconds"])
     return out
 
 
@@ -102,6 +111,16 @@ def compare(
         prev_s = prev_row.get("seconds")
         prev_txt = f"{prev_s:.3f}s" if isinstance(prev_s, (int, float)) else "-"
         print(f"sweep:{name:<11} {prev_txt:>9} -> {row['seconds']:.3f}s (informational)")
+    # The hierarchical bench's flat baseline walks agents in Python —
+    # reported so the speedup stays visible, never gated.
+    flat = current.get("flat_round")
+    if flat is not None:
+        prev_s = previous.get("flat_round", {}).get("seconds")
+        prev_txt = f"{prev_s:.3f}s" if isinstance(prev_s, (int, float)) else "-"
+        print(
+            f"flat_round:{flat['n']:<6} {prev_txt:>9} -> "
+            f"{flat['seconds']:.3f}s (informational)"
+        )
     return failures
 
 

@@ -12,8 +12,11 @@ Three cooperating roles, all socket-free:
 
 * **Coordinator** — the registry-registered ``"distributed"``
   :class:`~repro.api.executor.Executor`.  ``FMoreEngine.run`` hands it the
-  pending cells; it enqueues one *job spec* per cell (the full scenario
-  JSON plus the cell address) under ``<store>/jobs/<scenario-hash>/``,
+  pending cells; it registers the scenario once under
+  ``<store>/scenarios/<hash>.json`` and enqueues one *job spec* per cell
+  (the cell address plus the scenario hash — specs reference the
+  registered scenario rather than embedding it) under
+  ``<store>/jobs/<scenario-hash>/``,
   optionally spawns local worker processes, and then just polls the store
   until every cell's manifest exists.  Worker death is handled by *lease
   timeouts*: a claimed job whose lock stops heartbeating is re-queued
@@ -86,7 +89,11 @@ __all__ = [
     "DEFAULT_POLL_INTERVAL",
 ]
 
-JOB_FORMAT = 1
+# Format 2 job specs reference the registered ``scenarios/<hash>.json``
+# by hash instead of embedding the full scenario JSON (one copy per sweep
+# rather than one per cell); format 1 specs with an embedded ``scenario``
+# are still claimed and run unchanged.
+JOB_FORMAT = 2
 
 #: How long a claimed cell may go without a heartbeat before any other
 #: worker (or the coordinator) may re-queue it.  Workers heartbeat once
@@ -117,9 +124,11 @@ def _worker_label(worker_id: str | None = None) -> str:
 class Job:
     """One claimed ``(scheme, seed)`` cell, as read from its job spec.
 
-    Carries the full scenario dict, so a worker needs nothing but the
-    shared store to run the cell; ``worker`` is the claiming worker's
-    label (set by :meth:`JobQueue.claim`).
+    ``scenario`` is the full scenario dict — resolved at claim time from
+    the store's ``scenarios/<hash>.json`` registry for format-2 specs, or
+    taken verbatim from legacy format-1 specs that embedded it — so a
+    worker needs nothing but the shared store to run the cell; ``worker``
+    is the claiming worker's label (set by :meth:`JobQueue.claim`).
     """
 
     path: Path
@@ -182,15 +191,15 @@ class JobQueue:
     ) -> list[Path]:
         """Write one job spec per cell; returns the paths actually written.
 
-        Registers the scenario in the store first (so workers can verify
-        they were pointed at the right store), then skips cells whose
-        manifest already exists and cells already queued — re-enqueueing
-        a partially-finished plan is idempotent.
+        Registers the scenario in the store first — that single
+        ``scenarios/<hash>.json`` is the sweep's one copy of the spec;
+        job specs reference it by hash — then skips cells whose manifest
+        already exists and cells already queued, so re-enqueueing a
+        partially-finished plan is idempotent.
         """
         from .store import _write_json
 
         h = self.store.register_scenario(scenario)
-        spec = scenario.to_dict()
         written: list[Path] = []
         for scheme, seed in cells:
             if self.store.has_cell(h, scheme, seed):
@@ -202,7 +211,6 @@ class JobQueue:
                 path,
                 {
                     "format": JOB_FORMAT,
-                    "scenario": spec,
                     "scenario_hash": h,
                     "scheme": str(scheme),
                     "seed": int(seed),
@@ -283,6 +291,18 @@ class JobQueue:
             if h not in known_hashes:
                 if self.store.scenario_path(h).exists():
                     known_hashes.add(h)
+                elif "scenario" not in data:
+                    # A format-2 spec is meaningless without its registered
+                    # scenario file — the job was copied away from the
+                    # store it was enqueued into.
+                    raise StoreMismatchError(
+                        f"job {path.name} references scenario {h[:12]}… by "
+                        f"hash but store {self.store.root} has no "
+                        f"scenarios/{h[:12]}….json; hash-referenced job "
+                        "specs only run against the store they were "
+                        "enqueued into — this worker is pointed at a "
+                        "foreign store, check --store"
+                    )
                 else:
                     # Only now pay for loading the specs — purely to name
                     # the stored scenarios in the error (an empty registry
@@ -308,10 +328,14 @@ class JobQueue:
             lock = self.lock_path_for(path)
             lease = float(data.get("lease_seconds", DEFAULT_LEASE_SECONDS))
             if self._acquire(lock, label, lease):
+                if "scenario" in data:  # legacy format-1: embedded spec
+                    spec = dict(data["scenario"])
+                else:
+                    spec = self.store.load_scenario(h).to_dict()
                 return Job(
                     path=path,
                     lock_path=lock,
-                    scenario=dict(data["scenario"]),
+                    scenario=spec,
                     scenario_hash=h,
                     scheme=scheme,
                     seed=seed,

@@ -30,6 +30,11 @@ import numpy as np
 
 from ..core.auction import MultiDimensionalProcurementAuction
 from ..core.equilibrium import EquilibriumSolver
+from ..core.hierarchy import (
+    HierarchicalMechanism,
+    ShardedPopulation,
+    build_population,
+)
 from ..core.mechanism import FMoreMechanism
 from ..core.policies import PolicyAction, build_policy_pipeline
 from ..core.registry import (
@@ -101,6 +106,12 @@ class Federation:
     :class:`~repro.mec.cluster.SimulatedCluster` wall-clock model (used as
     the run's :class:`~repro.fl.trainer.RoundTimer` unless a caller
     supplies one).
+
+    For ``variant="hierarchical"`` scenarios ``clients_data`` is the
+    bounded FL client *pool* (``clusters["fl_pool"]`` entries, not
+    ``n_clients``) and ``population`` carries the full sharded bidder
+    population as arrays; winners train the pool client at
+    ``node_id % pool_size``.
     """
 
     generator: DataGenerator
@@ -111,6 +122,7 @@ class Federation:
     initial_weights: list[np.ndarray] = field(default_factory=list)
     cluster_specs: list[ClusterNodeSpec] | None = None
     cluster: SimulatedCluster | None = None
+    population: ShardedPopulation | None = None
 
     @property
     def n_clients(self) -> int:
@@ -162,8 +174,16 @@ def build_federation(scenario: Scenario, seed: int) -> Federation:
     generator = make_generator(
         scenario.dataset, seed=scenario.data_seed, image_size=scenario.image_size
     )
+    # Hierarchical scenarios decouple the bidder population (arrays, up to
+    # 10^6 entries) from the FL clients that actually train — only the
+    # bounded pool is materialised as real datasets.
+    n_materialized = (
+        scenario.clusters["fl_pool"]
+        if scenario.variant == "hierarchical"
+        else scenario.n_clients
+    )
     specs = heterogeneous_specs(
-        scenario.n_clients,
+        n_materialized,
         generator.n_classes,
         data_rng,
         size_range=scenario.size_range,
@@ -177,6 +197,25 @@ def build_federation(scenario: Scenario, seed: int) -> Federation:
     federation = Federation(
         generator, clients_data, test_x, test_y, np.asarray(thetas)
     )
+    if scenario.variant == "hierarchical":
+        federation.population = build_population(
+            scenario.n_clients,
+            federation.thetas,
+            scenario.size_range,
+            scenario.clusters,
+            rng_from(seed, f"hier-pop-{scenario.name}"),
+            rng_from(
+                scenario.clusters["assignment_seed"],
+                f"hier-clusters-{scenario.name}",
+            ),
+            category_floor=max(
+                scenario.min_classes / generator.n_classes, 0.05
+            ),
+            availability_min_fraction=scenario.availability_min_fraction,
+            theta_jitter=scenario.theta_jitter,
+            theta_support=(distribution.lo, distribution.hi),
+            samples_per_quality_unit=SAMPLES_PER_QUALITY_UNIT,
+        )
     if scenario.variant == "cluster":
         hw_rng = rng_from(seed, names["hw"])
         federation.cluster_specs = build_cluster_specs(
@@ -327,6 +366,8 @@ def build_selection(
     if scheme in _AUCTION_SCHEMES:
         if solver is None:
             solver = build_solver(scenario)
+        if scenario.variant == "hierarchical":
+            return _hierarchical_selection(scenario, scheme, federation, solver)
         agents = build_agents(scenario, federation, solver)
         if scheme == "PsiFMore":
             psi = scenario.psi if scenario.psi is not None else 0.8
@@ -376,6 +417,75 @@ def build_selection(
         strategy.name = scheme
         return strategy
     raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEME_NAMES}")
+
+
+def _hierarchical_selection(
+    scenario: Scenario,
+    scheme: str,
+    federation: Federation,
+    solver: EquilibriumSolver,
+) -> SelectionStrategy:
+    """The two-tier auction strategy of a ``variant="hierarchical"`` cell.
+
+    The top-tier auction competes cluster heads for ``k_clusters`` slots
+    (top-K or psi admission, per the scheme); every cluster's local game
+    is a :meth:`~repro.core.equilibrium.EquilibriumSolver.with_population`
+    clone of the shared population solver, built inside the mechanism per
+    distinct cluster size.  The intra-round fan-out executor comes from
+    the ``clusters`` spec and is independent of the scenario's
+    ``execution`` spec (which schedules whole cells).
+    """
+    if federation.population is None:
+        raise ValueError(
+            "hierarchical scenario needs a sharded population; build the "
+            "federation with build_federation(scenario, seed)"
+        )
+    clusters = scenario.clusters
+    if scheme == "PsiFMore":
+        psi = scenario.psi if scenario.psi is not None else 0.8
+        policy = WINNER_SELECTIONS.create({"name": "psi", "psi": psi})
+    else:
+        policy = WINNER_SELECTIONS.create("top_k")
+    auction = MultiDimensionalProcurementAuction(
+        solver.quality_rule,
+        clusters["k_clusters"],
+        payment_rule=scenario.payment_rule,
+        selection=policy,
+        ranking="top_k",
+    )
+    executor = None
+    if clusters["executor"] != "serial":
+        executor = EXECUTORS.create(
+            clusters["executor"], max_workers=clusters["max_workers"]
+        )
+    mechanism = HierarchicalMechanism(
+        auction,
+        federation.population,
+        solver,
+        k_local=clusters["k_local"],
+        executor=executor,
+    )
+    strategy = AuctionSelection(mechanism, (), _quality_to_samples)
+    strategy.name = scheme
+    return strategy
+
+
+class _PooledClients(dict):
+    """Winner node ids resolved onto the bounded FL client pool.
+
+    A hierarchical round's winners are population node ids (0..N-1); the
+    federation only materialises ``fl_pool`` real clients, so a missing id
+    maps onto the pool by ``node_id % pool_size``.  Plain pool-sized
+    scenarios hit the dict directly and behave exactly like the list the
+    trainer historically received.
+    """
+
+    def __init__(self, clients: list[FLClient]):
+        super().__init__((c.client_id, c) for c in clients)
+        self._pool_ids = sorted(self)
+
+    def __missing__(self, node_id: int) -> FLClient:
+        return self[self._pool_ids[int(node_id) % len(self._pool_ids)]]
 
 
 def _build_global_model(scenario: Scenario, federation: Federation, seed: int):
@@ -665,6 +775,8 @@ def make_session(
         )
         for data in federation.clients_data
     ]
+    if scenario.variant == "hierarchical":
+        clients = _PooledClients(clients)
     selection = build_selection(scenario, scheme, federation, seed, solver=solver)
     trainer = FederatedTrainer(
         server,

@@ -16,7 +16,12 @@ be hand-rolled out of ``RoundEvent.actions``:
   realized payoff series from strategic runs (``bid_payoff`` actions, see
   :mod:`repro.strategic`); absent for all-truthful runs, ``None`` for
   rounds of schemes without the group.  These back the IC/IR report
-  (:mod:`repro.analysis.incentive_report`).
+  (:mod:`repro.analysis.incentive_report`),
+* ``cluster_selected_mean`` / ``cluster_local_winners_mean`` /
+  ``cluster_head_payment_mean`` — the two-tier trajectory of hierarchical
+  runs (``cluster_round`` actions, see :mod:`repro.core.hierarchy`):
+  clusters admitted by the head auction, global winners they contributed,
+  and the total head-tier payment; absent for flat runs.
 
 Frames export with ``to_csv`` / ``to_json`` so the paper's
 robustness/guidance figures are one-liners over a stored
@@ -48,6 +53,14 @@ _BASE_COLUMNS = (
     "violations_mean",
     "churn_departed_mean",
     "churn_arrived_mean",
+)
+
+# Seed-averaged head-tier cells, present only when some history carries
+# ``cluster_round`` actions (hierarchical runs).
+_CLUSTER_COLUMNS = (
+    "cluster_selected_mean",
+    "cluster_local_winners_mean",
+    "cluster_head_payment_mean",
 )
 
 
@@ -160,6 +173,7 @@ def build_metrics_frame(result) -> MetricsFrame:
     """
     n_alphas = 0
     payoff_labels: set[str] = set()
+    has_clusters = False
     for histories in result.histories.values():
         for history in histories:
             for record in history.records:
@@ -168,11 +182,14 @@ def build_metrics_frame(result) -> MetricsFrame:
                         n_alphas = max(n_alphas, len(action.payload["alphas"]))
                     elif action.kind == "bid_payoff":
                         payoff_labels.update(action.payload["groups"])
+                    elif action.kind == "cluster_round":
+                        has_clusters = True
     labels = sorted(payoff_labels)
     columns = (
         list(_BASE_COLUMNS)
         + [f"alpha{i}" for i in range(n_alphas)]
         + [f"payoff_{label}_{stat}" for label in labels for stat in ("mean", "min")]
+        + (list(_CLUSTER_COLUMNS) if has_clusters else [])
     )
 
     rows: list[tuple] = []
@@ -202,6 +219,14 @@ def build_metrics_frame(result) -> MetricsFrame:
             payoffs = _payoff_cells(
                 [series["payoffs"][t] for series in per_seed], labels
             )
+            cluster_cells = (
+                _mean_optional(
+                    [series["clusters"][t] for series in per_seed],
+                    len(_CLUSTER_COLUMNS),
+                )
+                if has_clusters
+                else ()
+            )
             rows.append(
                 (
                     scheme,
@@ -219,6 +244,7 @@ def build_metrics_frame(result) -> MetricsFrame:
                 )
                 + alphas
                 + payoffs
+                + cluster_cells
             )
     return MetricsFrame(columns, rows)
 
@@ -237,11 +263,13 @@ def _policy_series(history, n_rounds: int, n_alphas: int) -> dict[str, list]:
     arrived: list[int] = []
     alphas: list[tuple | None] = []
     payoffs: list[dict | None] = []
+    clusters: list[tuple | None] = []
     bans_so_far = 0
     current_alphas: tuple | None = None
     for record in history.records:
         v = d = a = 0
         round_payoffs: dict | None = None
+        round_clusters: tuple | None = None
         for action in record.policy_actions:
             if action.kind == "ban":
                 bans_so_far += 1
@@ -256,12 +284,19 @@ def _policy_series(history, n_rounds: int, n_alphas: int) -> dict[str, list]:
                 )
             elif action.kind == "bid_payoff":
                 round_payoffs = action.payload["groups"]
+            elif action.kind == "cluster_round":
+                round_clusters = (
+                    float(len(action.payload["selected"])),
+                    float(action.payload["n_local_winners"]),
+                    float(action.payload["head_payment"]),
+                )
         bans.append(bans_so_far)
         violations.append(v)
         departed.append(d)
         arrived.append(a)
         alphas.append(current_alphas)
         payoffs.append(round_payoffs)
+        clusters.append(round_clusters)
     return {
         "bans": bans,
         "violations": violations,
@@ -269,6 +304,7 @@ def _policy_series(history, n_rounds: int, n_alphas: int) -> dict[str, list]:
         "arrived": arrived,
         "alphas": alphas,
         "payoffs": payoffs,
+        "clusters": clusters,
     }
 
 

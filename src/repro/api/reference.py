@@ -111,7 +111,11 @@ FAMILIES: tuple[tuple[Registry, str, str], ...] = (
         "Scenario field `execution` — `{\"executor\": \"<name>\", "
         "\"max_workers\": N}`; the `distributed` executor additionally "
         "takes `lease_seconds` / `poll_interval` and allows "
-        "`max_workers=0` (coordinate-only). See docs/deployment.md.",
+        "`max_workers=0` (coordinate-only). See docs/deployment.md. "
+        "The in-process pools (`serial`/`thread`/`process`) also fan out "
+        "the per-cluster auctions of `variant=\"hierarchical\"` runs via "
+        "`clusters.executor`; see the hierarchical auctions section of "
+        "the README.",
     ),
 )
 

@@ -47,8 +47,9 @@ __all__ = ["Scenario", "SCHEME_NAMES", "VARIANT_NAMES"]
 SCHEME_NAMES = ("FMore", "RandFL", "FixFL", "PsiFMore")
 
 #: Environment families the engine can assemble: the paper's Section V-A/B
-#: simulation game, and the Section V-C simulated-cluster testbed.
-VARIANT_NAMES = ("simulation", "cluster")
+#: simulation game, the Section V-C simulated-cluster testbed, and the
+#: two-tier sharded auction for MEC-scale populations (N up to ~10^6).
+VARIANT_NAMES = ("simulation", "cluster", "hierarchical")
 
 _WIN_MODELS = ("paper", "exact")
 
@@ -70,7 +71,34 @@ _SPEC_FIELDS = {
 }
 
 # Dict-valued fields that accept dotted override paths ("scoring.scale").
-_DICT_FIELDS = ("scoring", "cost", "theta", "execution", "policies", "bidding")
+_DICT_FIELDS = ("scoring", "cost", "theta", "execution", "policies", "bidding", "clusters")
+
+# Keys of the variant="hierarchical" `clusters` spec.  `count` is
+# required; the rest are defaulted at canonicalisation so the spec
+# round-trips explicitly through JSON (the `execution` pattern).
+_CLUSTERS_KEYS = (
+    "count",
+    "k_clusters",
+    "k_local",
+    "size_dist",
+    "theta_skew",
+    "capacity_skew",
+    "assignment_seed",
+    "executor",
+    "max_workers",
+    "fl_pool",
+)
+
+_CLUSTER_SIZE_DISTS = ("uniform", "lognormal")
+
+#: Schemes the two-tier mechanism knows how to run (both tiers are
+#: score-ranked auctions; RandFL/FixFL have no per-cluster analogue).
+_HIERARCHICAL_SCHEMES = ("FMore", "PsiFMore")
+
+#: Bound on how many FL clients a hierarchical federation materialises;
+#: auction winners map onto this pool modulo its size, so training cost
+#: stays flat while the *bidder* population scales to 10^5-10^6.
+DEFAULT_FL_POOL = 256
 
 _POLICY_SPEC_KEYS = PIPELINE_STAGES + ("per_scheme",)
 
@@ -194,6 +222,17 @@ class Scenario:
     # Empty (the default) is all-truthful and is *omitted* from to_dict()
     # so pre-existing scenario hashes and manifests stay byte-identical.
     bidding: dict = field(default_factory=dict)
+    # Two-tier sharding spec (variant="hierarchical" only): the bidder
+    # population is partitioned into `count` edge clusters (size law,
+    # per-cluster theta/capacity skew, seeded assignment), each cluster
+    # runs a local FMore auction for `k_local` winners, and a top-level
+    # auction among the cluster heads admits `k_clusters` clusters to the
+    # global round.  `executor`/`max_workers` pick the in-process
+    # EXECUTORS member that fans the per-cluster auctions out within one
+    # round; `fl_pool` bounds how many FL clients are materialised.
+    # Empty (the default, required for flat variants) is *omitted* from
+    # to_dict() so pre-existing scenario hashes stay byte-identical.
+    clusters: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Validation
@@ -317,6 +356,7 @@ class Scenario:
             raise ValueError("grid_size must be at least 16")
         object.__setattr__(self, "policies", self._validated_policies())
         object.__setattr__(self, "bidding", self._validated_bidding())
+        object.__setattr__(self, "clusters", self._validated_clusters())
 
     def _validated_policies(self) -> dict:
         """Canonicalise and validate the round-policy spec.
@@ -512,6 +552,113 @@ class Scenario:
             mix = self.bidding.get("mix", [])
         return copy.deepcopy(mix)
 
+    def _validated_clusters(self) -> dict:
+        """Canonicalise and validate the two-tier sharding spec.
+
+        Mirrors the ``execution`` canonicalisation: `count` is required,
+        everything else is defaulted *explicitly* here so the spec
+        round-trips through JSON with no implicit state.  The spec is
+        rejected outright on flat variants, and the hierarchical variant
+        is rejected without it — the coupling is two-way so a stray
+        ``clusters`` key can never silently change what a run means.
+        """
+        if not isinstance(self.clusters, Mapping):
+            raise TypeError("clusters must be a spec mapping")
+        spec = {str(k): _detuple(v) for k, v in self.clusters.items()}
+        if self.variant != "hierarchical":
+            if spec:
+                raise ValueError(
+                    "the clusters spec only applies to variant='hierarchical' "
+                    f"(got variant={self.variant!r})"
+                )
+            return {}
+        # -- hierarchical cross-field constraints --------------------------
+        bad_schemes = sorted(set(self.schemes) - set(_HIERARCHICAL_SCHEMES))
+        if bad_schemes:
+            raise ValueError(
+                f"variant='hierarchical' cannot run schemes {bad_schemes}; "
+                f"choose from {_HIERARCHICAL_SCHEMES}"
+            )
+        if self.payment_rule != "first_score":
+            raise ValueError(
+                "variant='hierarchical' requires payment_rule='first_score' "
+                "(second-score pricing needs the best rejected bid, which "
+                "the top-K local winner determination does not rank)"
+            )
+        if self.bidding:
+            raise ValueError(
+                "variant='hierarchical' does not support a bidding spec: "
+                "the sharded population bids through the vectorised "
+                "equilibrium path, not per-agent policies"
+            )
+        if self.policies:
+            raise ValueError(
+                "variant='hierarchical' does not support round policies: "
+                "the two-tier mechanism records its own cluster_round "
+                "actions instead of running the per-agent pipeline"
+            )
+        unknown = sorted(set(spec) - set(_CLUSTERS_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown clusters keys {unknown}; allowed: {list(_CLUSTERS_KEYS)}"
+            )
+        if "count" not in spec:
+            raise ValueError("variant='hierarchical' needs clusters={'count': C, ...}")
+        count = int(spec["count"])
+        if not (1 <= count <= self.n_clients):
+            raise ValueError("clusters count must satisfy 1 <= count <= n_clients")
+        k_clusters = spec.get("k_clusters")
+        k_clusters = max(1, count // 2) if k_clusters is None else int(k_clusters)
+        if not (1 <= k_clusters <= count):
+            raise ValueError("clusters k_clusters must satisfy 1 <= k_clusters <= count")
+        k_local = spec.get("k_local")
+        if k_local is None:
+            # Default so the selected clusters contribute ~k_winners
+            # trainers to the global round.
+            k_local = max(1, -(-self.k_winners // k_clusters))
+        k_local = int(k_local)
+        if k_local < 1:
+            raise ValueError("clusters k_local must be >= 1")
+        size_dist = str(spec.get("size_dist", "uniform"))
+        if size_dist not in _CLUSTER_SIZE_DISTS:
+            raise ValueError(
+                f"unknown clusters size_dist {size_dist!r}; "
+                f"choose from {_CLUSTER_SIZE_DISTS}"
+            )
+        theta_skew = float(spec.get("theta_skew", 0.0))
+        capacity_skew = float(spec.get("capacity_skew", 0.0))
+        if theta_skew < 0.0 or capacity_skew < 0.0:
+            raise ValueError("clusters theta_skew/capacity_skew must be >= 0")
+        executor = str(spec.get("executor", "serial"))
+        if executor not in EXECUTORS or executor == "distributed":
+            choices = sorted(set(EXECUTORS.names()) - {"distributed"})
+            raise ValueError(
+                f"clusters executor {executor!r} must be an in-round pool, "
+                f"one of {choices} (the 'distributed' backend schedules "
+                "whole cells, not intra-round cluster auctions)"
+            )
+        max_workers = spec.get("max_workers")
+        if max_workers is not None:
+            max_workers = int(max_workers)
+            if max_workers < 1:
+                raise ValueError("clusters max_workers must be >= 1")
+        fl_pool = spec.get("fl_pool")
+        fl_pool = min(self.n_clients, DEFAULT_FL_POOL) if fl_pool is None else int(fl_pool)
+        if fl_pool < 1:
+            raise ValueError("clusters fl_pool must be >= 1")
+        return {
+            "count": count,
+            "k_clusters": k_clusters,
+            "k_local": k_local,
+            "size_dist": size_dist,
+            "theta_skew": theta_skew,
+            "capacity_skew": capacity_skew,
+            "assignment_seed": int(spec.get("assignment_seed", 0)),
+            "executor": executor,
+            "max_workers": max_workers,
+            "fl_pool": min(fl_pool, self.n_clients),
+        }
+
     # ------------------------------------------------------------------
     # Functional updates
     # ------------------------------------------------------------------
@@ -581,9 +728,10 @@ class Scenario:
         out: dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            if f.name == "bidding" and not value:
-                # All-truthful is the implicit default; omitting it keeps
-                # pre-bidding scenario hashes (and store manifests) intact.
+            if f.name in ("bidding", "clusters") and not value:
+                # All-truthful / flat is the implicit default; omitting
+                # the empty spec keeps pre-existing scenario hashes (and
+                # store manifests) intact.
                 continue
             if isinstance(value, tuple):
                 value = list(value)

@@ -72,6 +72,11 @@ FORMAT_VERSION = 1
 #: even ``name`` (it feeds the named seed streams) — is part of the hash.
 PLAN_FIELDS = ("schemes", "seeds", "execution")
 
+#: Keys of the hierarchical ``clusters`` spec that are likewise plan, not
+#: content: the in-round executor fans the per-cluster auctions out but is
+#: bitwise-invisible in the result (every RNG draw happens in the caller).
+_CLUSTERS_PLAN_KEYS = ("executor", "max_workers")
+
 _CELL_RE = re.compile(r"^(?P<scheme>[A-Za-z0-9_]+)-seed(?P<seed>-?\d+)$")
 
 
@@ -109,11 +114,20 @@ def scenario_hash(scenario: Scenario) -> str:
     The run plan (:data:`PLAN_FIELDS`) is excluded: a cell is a pure
     function of ``(scenario-sans-plan, scheme, seed)``, so sweeps that
     grow their seed list — or fan out over a different executor — keep
-    hitting the manifests earlier runs wrote.
+    hitting the manifests earlier runs wrote.  The same goes for the
+    in-round ``clusters`` executor of hierarchical scenarios: serial,
+    thread and process fan-out produce bitwise-identical rounds, so those
+    keys are stripped before hashing.
     """
     payload = {
         k: v for k, v in scenario.to_dict().items() if k not in PLAN_FIELDS
     }
+    if "clusters" in payload:
+        payload["clusters"] = {
+            k: v
+            for k, v in payload["clusters"].items()
+            if k not in _CLUSTERS_PLAN_KEYS
+        }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

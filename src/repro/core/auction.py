@@ -24,9 +24,48 @@ __all__ = [
     "AuctionOutcome",
     "MultiDimensionalProcurementAuction",
     "PAYMENT_RULES",
+    "descending_order",
     "first_score_payment",
     "second_score_payment",
+    "top_k_order",
 ]
+
+
+def descending_order(scores: np.ndarray, tiebreak: np.ndarray) -> np.ndarray:
+    """Indices sorting ``scores`` descending, ties by ascending ``tiebreak``.
+
+    ``np.lexsort`` keys are (secondary, primary); both it and Python's
+    ``sorted`` are stable on the composite key ``(-score, tiebreak)``, so
+    this is bitwise-identical to the historical
+    ``sorted(range(n), key=lambda i: (-scores[i], tiebreak[i]))`` ranking
+    while staying entirely in NumPy.
+    """
+    return np.lexsort((tiebreak, -scores))
+
+
+def top_k_order(scores: np.ndarray, tiebreak: np.ndarray, k: int) -> np.ndarray:
+    """The first ``k`` indices of :func:`descending_order`, without a full sort.
+
+    ``np.argpartition`` finds the k-th largest score in O(n); boundary
+    ties are resolved exactly as the full sort would — every index with a
+    strictly greater score is in, and the remaining slots go to the tied
+    indices with the smallest tie-break keys.  Only the selected ``k``
+    indices are then ordered.  Equivalence against the full-sort path is
+    pinned bitwise in tests (continuous tie-break keys make exact
+    (score, tiebreak) collisions a measure-zero event).
+    """
+    scores = np.asarray(scores)
+    n = scores.shape[0]
+    if k >= n:
+        return descending_order(scores, tiebreak)
+    boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
+    definite = np.flatnonzero(scores > boundary)
+    tied = np.flatnonzero(scores == boundary)
+    need = k - definite.size
+    if need < tied.size:
+        tied = tied[np.argpartition(tiebreak[tied], need - 1)[:need]]
+    chosen = np.concatenate([definite, tied])
+    return chosen[np.lexsort((tiebreak[chosen], -scores[chosen]))]
 
 
 @PAYMENT_RULE_REGISTRY.register("first_score")
@@ -69,6 +108,8 @@ class AuctionOutcome:
 
     ``scored_bids`` holds every submitted bid in descending score order
     (post tie-break); ``winners`` the selected subset with charged payments.
+    Under the auction's ``ranking="top_k"`` fast path ``scored_bids`` is
+    truncated to the K selected bids (same order as the full sort's head).
     """
 
     winners: list[AuctionWinner]
@@ -117,6 +158,13 @@ class MultiDimensionalProcurementAuction:
         zero applies.
     selection:
         Winner-selection policy over the sorted list (default: top-K).
+    ranking:
+        ``"full"`` (default) ranks every bid — the total descending order
+        feeds ``AuctionOutcome.scored_bids`` and downstream manifests.
+        ``"top_k"`` ranks only the K winners via ``np.argpartition``
+        whenever that is safe (plain top-K selection, first-score
+        payments, K < N) and falls back to the full sort otherwise; the
+        outcome's ``scored_bids`` then holds just the K selected bids.
     """
 
     def __init__(
@@ -125,6 +173,7 @@ class MultiDimensionalProcurementAuction:
         k_winners: int,
         payment_rule: str = "first_score",
         selection: WinnerSelection | None = None,
+        ranking: str = "full",
     ):
         if isinstance(scoring, ScoringRule):
             scoring = QuasiLinearScoringRule(scoring)
@@ -140,6 +189,9 @@ class MultiDimensionalProcurementAuction:
         self.payment_rule = payment_rule
         self._charge_policy = PAYMENT_RULE_REGISTRY.get(payment_rule)
         self.selection = selection if selection is not None else TopKSelection()
+        if ranking not in ("full", "top_k"):
+            raise ValueError("ranking must be 'full' or 'top_k'")
+        self.ranking = ranking
 
     def score_bid(self, bid: Bid) -> float:
         """Evaluate ``S(q_i, p_i)`` for one bid."""
@@ -173,12 +225,23 @@ class MultiDimensionalProcurementAuction:
 
         scores = np.asarray([self.score_bid(b) for b in bids])
         tiebreak = rng.random(len(bids))
-        order = sorted(
-            range(len(bids)), key=lambda i: (-scores[i], tiebreak[i])
+        policy = selection if selection is not None else self.selection
+        # Partial ranking is only equivalent when nothing downstream needs
+        # the bids beyond rank K: plain top-K admission (psi policies walk
+        # the whole order) and pay-as-bid (second score prices off the
+        # best *rejected* bid).
+        partial = (
+            self.ranking == "top_k"
+            and type(policy) is TopKSelection
+            and self.payment_rule == "first_score"
+            and self.k_winners < len(bids)
         )
+        if partial:
+            order = top_k_order(scores, tiebreak, self.k_winners)
+        else:
+            order = descending_order(scores, tiebreak)
         scored = [ScoredBid(bids[i], float(scores[i])) for i in order]
 
-        policy = selection if selection is not None else self.selection
         positions = policy.select(len(scored), self.k_winners, rng)
         winners = self._charge(scored, positions)
         return AuctionOutcome(winners, scored, self.k_winners, self.payment_rule)

@@ -1,0 +1,430 @@
+"""Two-tier sharded auctions: FMore at MEC population scale.
+
+The flat mechanism collects one bid per node and ranks all N of them —
+fine at the paper's N~100, hopeless at N=10^5-10^6.  This module shards
+the population into C edge clusters and runs the auction in two tiers,
+the shape of hierarchical incentive mechanisms for MEC federated
+learning (see PAPERS.md):
+
+* **local tier** — every cluster runs the ordinary FMore winner
+  determination over its own slice: members bid at the equilibrium of
+  the *cluster* game ``(s, c, F, n_c, k_local)`` (the population solver
+  cloned per distinct cluster size via
+  :meth:`~repro.core.equilibrium.EquilibriumSolver.with_population`, so
+  the strategy tables are built once), scores come from one vectorised
+  ``score_batch`` call, and the per-cluster top-``k_local`` ranking uses
+  :func:`~repro.core.auction.top_k_order` — O(n_c) argpartition instead
+  of a full sort;
+* **top tier** — each non-empty cluster's head aggregates its local
+  winners into one synthetic bid (summed score, summed quality vector,
+  summed asking payment) and the heads compete in a conventional auction
+  for the ``k_clusters`` slots of the global round (top-K or psi
+  admission, the auction's configured selection policy).
+
+Every RNG draw happens up front in the caller's thread, so the
+per-cluster winner determination is *pure array math* — it fans out
+through any in-process :class:`~repro.api.executor.Executor` (serial /
+thread / process) and the result is bitwise-identical regardless of
+which pool ran it.
+
+The population itself is a struct-of-arrays (:class:`ShardedPopulation`)
+— no per-node Python objects exist until the final winners are
+materialised — which is what keeps one round at N=10^6 within seconds
+(see ``benchmarks/bench_hierarchical.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .auction import MultiDimensionalProcurementAuction, top_k_order
+from .auction import AuctionOutcome, descending_order
+from .bids import AuctionWinner, Bid, ScoredBid
+from .equilibrium import EquilibriumSolver
+from .mechanism import (
+    BID_ASK_BYTES_PER_NODE,
+    FLOAT_BYTES,
+    FMoreMechanism,
+    MechanismRound,
+    RoundAccounting,
+)
+from .policies import PolicyAction
+
+__all__ = [
+    "ShardedPopulation",
+    "HierarchicalMechanism",
+    "assign_clusters",
+    "build_population",
+]
+
+
+def assign_clusters(
+    n_nodes: int,
+    count: int,
+    size_dist: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Seeded cluster membership for ``n_nodes`` bidders.
+
+    ``"uniform"`` spreads nodes evenly in expectation; ``"lognormal"``
+    draws per-cluster weights from a log-normal so a few mega-clusters
+    coexist with many small ones (the realistic MEC shape).  The draw
+    consumes only the given ``rng`` — the engine derives it from the
+    spec's ``assignment_seed``, *not* the run seed, so the partition is
+    an experiment constant shared by every cell and every executor.
+    """
+    if size_dist == "lognormal":
+        weights = rng.lognormal(0.0, 1.0, int(count))
+        weights = weights / weights.sum()
+    elif size_dist == "uniform":
+        weights = np.full(int(count), 1.0 / int(count))
+    else:
+        raise ValueError(f"unknown size_dist {size_dist!r}")
+    return rng.choice(int(count), size=int(n_nodes), p=weights)
+
+
+@dataclass
+class ShardedPopulation:
+    """The bidder population as aligned arrays, sharded into clusters.
+
+    One entry per node; no :class:`~repro.mec.node.EdgeNode` objects are
+    built.  ``thetas`` already carries the per-cluster skew and stays
+    inside the type prior's support; ``data_sizes`` is in raw samples
+    (divide by ``samples_per_quality_unit`` for the q1 quality unit).
+    """
+
+    node_ids: np.ndarray
+    thetas: np.ndarray
+    data_sizes: np.ndarray
+    category_proportions: np.ndarray
+    cluster_ids: np.ndarray
+    cluster_count: int
+    availability_min_fraction: float
+    theta_jitter: float
+    samples_per_quality_unit: float = 1000.0
+
+    def __post_init__(self) -> None:
+        n = len(self.node_ids)
+        for name in ("thetas", "data_sizes", "category_proportions", "cluster_ids"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must align with node_ids (length {n})")
+        order = np.argsort(self.cluster_ids, kind="stable")
+        bounds = np.searchsorted(
+            self.cluster_ids[order], np.arange(self.cluster_count + 1)
+        )
+        self._members = [
+            order[bounds[c] : bounds[c + 1]] for c in range(self.cluster_count)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def members(self) -> list[np.ndarray]:
+        """Per-cluster member indices (into the population arrays)."""
+        return self._members
+
+    @property
+    def cluster_sizes(self) -> np.ndarray:
+        return np.asarray([m.size for m in self._members])
+
+
+def build_population(
+    n_nodes: int,
+    thetas: np.ndarray,
+    size_range: tuple[int, int],
+    clusters_spec: Mapping[str, Any],
+    pop_rng: np.random.Generator,
+    assign_rng: np.random.Generator,
+    *,
+    category_floor: float,
+    availability_min_fraction: float,
+    theta_jitter: float,
+    theta_support: tuple[float, float],
+    samples_per_quality_unit: float = 1000.0,
+) -> ShardedPopulation:
+    """Materialise a sharded population from a canonical ``clusters`` spec.
+
+    The resource draws mirror the flat simulator's *laws* in vectorised
+    form — log-uniform data sizes over ``size_range``, category
+    proportions in ``[category_floor, 1]`` — then the per-cluster skews
+    are applied: ``theta_skew`` shifts each cluster's types by a common
+    normal offset (clipped back into the prior support, where the
+    cluster-game solvers are defined) and ``capacity_skew`` scales each
+    cluster's data holdings by a common log-normal factor (clipped back
+    into ``size_range``).  Cluster membership draws from ``assign_rng``
+    only, so the partition depends on ``assignment_seed`` alone.
+    """
+    n = int(n_nodes)
+    lo, hi = float(size_range[0]), float(size_range[1])
+    data_sizes = np.round(np.exp(pop_rng.uniform(np.log(lo), np.log(hi), n)))
+    cats = pop_rng.uniform(min(category_floor, 1.0), 1.0, n)
+    count = int(clusters_spec["count"])
+    cluster_ids = assign_clusters(
+        n, count, str(clusters_spec["size_dist"]), assign_rng
+    )
+    # Per-cluster skews are drawn unconditionally so the pop stream's
+    # position never depends on whether a skew happens to be zero.
+    theta_offsets = pop_rng.normal(0.0, 1.0, count)
+    capacity_factors = pop_rng.normal(0.0, 1.0, count)
+    t_lo, t_hi = float(theta_support[0]), float(theta_support[1])
+    thetas = np.asarray(thetas, dtype=float)
+    theta_skew = float(clusters_spec["theta_skew"])
+    if theta_skew > 0.0:
+        thetas = np.clip(thetas + theta_skew * theta_offsets[cluster_ids], t_lo, t_hi)
+    else:
+        thetas = np.clip(thetas, t_lo, t_hi)
+    capacity_skew = float(clusters_spec["capacity_skew"])
+    if capacity_skew > 0.0:
+        factors = np.exp(capacity_skew * capacity_factors)
+        data_sizes = np.clip(np.round(data_sizes * factors[cluster_ids]), lo, hi)
+    return ShardedPopulation(
+        node_ids=np.arange(n, dtype=np.int64),
+        thetas=thetas,
+        data_sizes=data_sizes,
+        category_proportions=cats,
+        cluster_ids=cluster_ids,
+        cluster_count=count,
+        availability_min_fraction=float(availability_min_fraction),
+        theta_jitter=float(theta_jitter),
+        samples_per_quality_unit=float(samples_per_quality_unit),
+    )
+
+
+def _local_winners_chunk(
+    payload: list[tuple[int, np.ndarray, np.ndarray, np.ndarray, int]],
+) -> list[tuple[int, np.ndarray]]:
+    """Winner determination for a chunk of clusters — pure array math.
+
+    Each item is ``(cluster_id, member_idx, scores, tiebreak, k_local)``
+    with the score/tiebreak slices pre-gathered by the caller, so the
+    payload is plain ndarrays: picklable for the process pool, and free
+    of RNG state so every executor returns bitwise-identical winners.
+    Returns ``(cluster_id, winning member_idx in rank order)`` per item.
+    """
+    out: list[tuple[int, np.ndarray]] = []
+    for cid, idx, scores, tiebreak, k in payload:
+        order = top_k_order(scores, tiebreak, int(k))
+        out.append((cid, idx[order]))
+    return out
+
+
+class HierarchicalMechanism(FMoreMechanism):
+    """The two-tier protocol over a :class:`ShardedPopulation`.
+
+    Subclasses :class:`~repro.core.mechanism.FMoreMechanism` so the
+    engine's checkpoint/resume path (which captures policy and bidding
+    state from the mechanism) works unchanged — a hierarchical round
+    keeps all of its state in the training RNG stream, so snapshotting
+    between rounds restores bitwise.
+
+    Parameters
+    ----------
+    auction:
+        The *top-tier* auction: its ``k_winners`` is the number of
+        clusters admitted per round and its selection policy (top-K or
+        psi) arbitrates among cluster heads.  Member scoring uses its
+        quasi-linear scoring rule.
+    population:
+        The sharded bidder population (shared across rounds; per-round
+        dynamics are drawn fresh from the training RNG).
+    solver:
+        The population-level equilibrium solver; per-cluster games are
+        :meth:`~repro.core.equilibrium.EquilibriumSolver.with_population`
+        clones keyed by ``(cluster size, k_local)`` — one per *distinct*
+        size, cached across rounds.
+    k_local:
+        Winners each cluster's local auction forwards to its head.
+    executor:
+        An in-process executor mapping the per-cluster winner
+        determination over cluster chunks (``None`` = inline serial).
+        RNG draws never cross this boundary, so serial / thread /
+        process all produce identical rounds.
+    """
+
+    def __init__(
+        self,
+        auction: MultiDimensionalProcurementAuction,
+        population: ShardedPopulation,
+        solver: EquilibriumSolver,
+        k_local: int,
+        executor=None,
+    ):
+        super().__init__(auction)
+        self.population = population
+        self.solver = solver
+        self.k_local = int(k_local)
+        if self.k_local < 1:
+            raise ValueError("k_local must be >= 1")
+        self.executor = executor
+        self._clones: dict[tuple[int, int], EquilibriumSolver] = {}
+
+    def _cluster_solver(self, size: int) -> EquilibriumSolver:
+        key = (int(size), min(self.k_local, int(size)))
+        clone = self._clones.get(key)
+        if clone is None:
+            clone = self.solver.with_population(key[0], key[1])
+            self._clones[key] = clone
+        return clone
+
+    def run_round(
+        self,
+        agents: Sequence,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> MechanismRound:
+        """One two-tier round; ``agents`` is ignored (the population bids).
+
+        All randomness — availability fractions, per-round theta
+        re-estimates, member and head tie-break keys, the head-tier
+        admission draw — is consumed here from ``rng`` in a fixed order;
+        the executor fan-out below is deterministic array work.
+        """
+        pop = self.population
+        n = pop.n_nodes
+        dist = self.solver.model.distribution
+        # -- per-round dynamics (vectorised, fixed draw order) -----------
+        fracs = rng.uniform(pop.availability_min_fraction, 1.0, n)
+        if pop.theta_jitter > 0.0:
+            width = (dist.hi - dist.lo) * pop.theta_jitter
+            thetas = np.clip(
+                pop.thetas + rng.uniform(-width, width, n), dist.lo, dist.hi
+            )
+        else:
+            thetas = pop.thetas
+        member_tiebreak = rng.random(n)
+        head_tiebreak = rng.random(pop.cluster_count)
+
+        # -- equilibrium pricing: one bid_batch per distinct cluster size --
+        caps = np.column_stack(
+            [
+                np.floor(pop.data_sizes * fracs) / pop.samples_per_quality_unit,
+                pop.category_proportions,
+            ]
+        )
+        m = self.auction.scoring.quality_rule.n_dimensions
+        qualities = np.empty((n, m))
+        payments = np.empty(n)
+        eligible = np.zeros(n, dtype=bool)
+        by_size: dict[int, list[np.ndarray]] = {}
+        for members in pop.members:
+            if members.size:
+                by_size.setdefault(int(members.size), []).append(members)
+        for size, groups in by_size.items():
+            idx = np.concatenate(groups)
+            clone = self._cluster_solver(size)
+            q, p, costs = clone.bid_batch(thetas[idx], caps[idx], with_costs=True)
+            qualities[idx] = q
+            payments[idx] = p
+            eligible[idx] = (p - costs) >= -1e-12
+        scores = self.auction.scoring.score_batch(qualities, payments)
+
+        # -- local tier: per-cluster winner determination (fanned out) ----
+        tasks = []
+        for cid, members in enumerate(pop.members):
+            live = members[eligible[members]]
+            if live.size:
+                tasks.append(
+                    (
+                        cid,
+                        live,
+                        scores[live],
+                        member_tiebreak[live],
+                        min(self.k_local, live.size),
+                    )
+                )
+        if self.executor is None or len(tasks) <= 1:
+            chunk_results = [_local_winners_chunk(tasks)]
+        else:
+            workers = self.executor.worker_count(len(tasks))
+            chunks = [tasks[i::workers] for i in range(workers) if tasks[i::workers]]
+            chunk_results = self.executor.map(_local_winners_chunk, chunks)
+        local_winners = dict(
+            pair for chunk in chunk_results for pair in chunk
+        )
+
+        # -- top tier: cluster heads compete for k_clusters slots ----------
+        head_cids = sorted(local_winners)
+        head_scores = np.asarray(
+            [float(scores[local_winners[cid]].sum()) for cid in head_cids]
+        )
+        head_order = descending_order(
+            head_scores, head_tiebreak[np.asarray(head_cids, dtype=int)]
+        )
+        scored_heads: list[ScoredBid] = []
+        for pos in head_order:
+            cid = head_cids[int(pos)]
+            win_idx = local_winners[cid]
+            head_bid = Bid(
+                node_id=-(cid + 1),  # synthetic: never collides with nodes
+                quality=qualities[win_idx].sum(axis=0),
+                payment=float(payments[win_idx].sum()),
+            )
+            scored_heads.append(ScoredBid(head_bid, float(head_scores[int(pos)])))
+        positions = self.auction.selection.select(
+            len(scored_heads), self.auction.k_winners, rng
+        )
+
+        # -- materialise the global winner set (pay-as-bid) ----------------
+        winners: list[AuctionWinner] = []
+        selected_cids: list[int] = []
+        for pos in positions:
+            cid = -(scored_heads[pos].node_id) - 1
+            selected_cids.append(int(cid))
+            for i in local_winners[int(cid)]:
+                winners.append(
+                    AuctionWinner(
+                        node_id=int(pop.node_ids[i]),
+                        quality=qualities[i].copy(),
+                        asked_payment=float(payments[i]),
+                        charged_payment=float(payments[i]),
+                        score=float(scores[i]),
+                        rank=len(winners),
+                    )
+                )
+        outcome = AuctionOutcome(
+            winners, scored_heads, self.auction.k_winners, self.auction.payment_rule
+        )
+
+        # -- accounting + the per-tier action record -----------------------
+        n_bids = int(eligible.sum())
+        accounting = RoundAccounting(
+            n_asked=n,
+            n_bids=n_bids,
+            downlink_bytes=BID_ASK_BYTES_PER_NODE * n,
+            uplink_bytes=FLOAT_BYTES * (m + 1) * n_bids,
+            comparisons=int(
+                sum(
+                    np.ceil(t[1].size * np.log2(t[1].size)) if t[1].size > 1 else 0
+                    for t in tasks
+                )
+                + (
+                    np.ceil(len(scored_heads) * np.log2(len(scored_heads)))
+                    if len(scored_heads) > 1
+                    else 0
+                )
+            ),
+        )
+        sizes = pop.cluster_sizes
+        action = PolicyAction(
+            kind="cluster_round",
+            round_index=round_index,
+            payload={
+                "clusters": int(pop.cluster_count),
+                "bidding_clusters": len(head_cids),
+                "selected": selected_cids,
+                "k_local": self.k_local,
+                "n_local_winners": len(winners),
+                "head_payment": float(sum(w.charged_payment for w in winners)),
+                "mean_cluster_size": float(sizes.mean()) if sizes.size else 0.0,
+            },
+        )
+        record = MechanismRound(
+            round_index, outcome, accounting, abstained=[], actions=[action]
+        )
+        self.history.append(record)
+        return record

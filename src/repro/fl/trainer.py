@@ -10,7 +10,7 @@ model, for the "real-world" Figs 12-13).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -166,7 +166,7 @@ class FederatedTrainer:
     def __init__(
         self,
         server: FedAvgServer,
-        clients: Sequence[FLClient],
+        clients: Sequence[FLClient] | Mapping[int, FLClient],
         selection: SelectionStrategy,
         test_x: np.ndarray,
         test_y: np.ndarray,
@@ -174,9 +174,15 @@ class FederatedTrainer:
         timer: RoundTimer | None = None,
     ):
         self.server = server
-        self.clients = {c.client_id: c for c in clients}
-        if len(self.clients) != len(clients):
-            raise ValueError("duplicate client ids")
+        if isinstance(clients, Mapping):
+            # Pre-keyed pools (e.g. the hierarchical variant's bounded FL
+            # pool, which resolves out-of-pool winner ids itself) are
+            # adopted as-is.
+            self.clients = clients
+        else:
+            self.clients = {c.client_id: c for c in clients}
+            if len(self.clients) != len(clients):
+                raise ValueError("duplicate client ids")
         self.selection = selection
         self.test_x = test_x
         self.test_y = test_y

@@ -1,0 +1,310 @@
+"""Two-tier hierarchical auctions: spec, sharding, determinism, resume.
+
+The contracts under test (the hierarchical-variant ISSUE acceptance):
+
+* the ``clusters`` spec canonicalises once and round-trips through JSON
+  with no implicit state, and flat scenarios are untouched — their
+  content hashes are pinned to the values main produced before the
+  variant existed;
+* the cluster partition is a seeded experiment constant — it depends on
+  ``assignment_seed`` alone, never on the run seed;
+* one hierarchical round is bitwise-identical under the serial, thread
+  and process in-round executors (every RNG draw happens in the caller),
+  and the executor is therefore a plan knob outside the scenario hash;
+* checkpoint/resume mid-hierarchical-run restores bitwise, including
+  through a store round-trip with byte-identical manifests;
+* the argpartition rankings (``top_k_order`` / ``descending_order``)
+  equal the historical full ``sorted()`` order bitwise, ties included,
+  and the auction's ``ranking="top_k"`` fast path picks the same winners
+  as the full sort.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExperimentStore,
+    FMoreEngine,
+    IncompleteRunError,
+    Scenario,
+    scenario_hash,
+)
+from repro.core.auction import (
+    MultiDimensionalProcurementAuction,
+    descending_order,
+    top_k_order,
+)
+from repro.core.bids import Bid
+from repro.core.hierarchy import assign_clusters, build_population
+from repro.core.scoring import AdditiveScore
+from repro.sim.rng import rng_from
+
+# The values scenario_hash() produced on main before the hierarchical
+# variant landed.  A drift here means flat manifests written by earlier
+# runs are no longer addressable — the one thing this PR must not do.
+FLAT_HASH_PINS = {
+    "smoke": "eeeae5bdcfafe01203f030d891b26a3129fe0a6a6cb85c577fc4cca00f39ae0e",
+    "paper": "f8d0aecbdcea401204f5cce71b31ff40b2a8413f8d61fdaff30367885ddff12f",
+}
+
+CLUSTERS = {
+    "count": 8,
+    "k_clusters": 4,
+    "k_local": 2,
+    "size_dist": "lognormal",
+    "theta_skew": 0.05,
+    "capacity_skew": 0.2,
+}
+
+
+def _hier_scenario(**overrides):
+    """A hierarchical smoke game small enough to train in-tests."""
+    defaults = dict(
+        name="hier-test",
+        variant="hierarchical",
+        n_clients=48,
+        k_winners=6,
+        n_rounds=2,
+        test_per_class=8,
+        size_range=(60, 240),
+        grid_size=17,
+        clusters=CLUSTERS,
+    )
+    return Scenario.from_preset(
+        "smoke",
+        "mnist_o",
+        schemes=("FMore",),
+        seeds=(0,),
+        **{**defaults, **overrides},
+    )
+
+
+@pytest.fixture(scope="module")
+def hier_reference():
+    scenario = _hier_scenario()
+    return scenario, FMoreEngine().run(scenario)
+
+
+# ----------------------------------------------------------------------
+# The clusters spec
+# ----------------------------------------------------------------------
+class TestClustersSpec:
+    def test_canonical_spec_round_trips_through_json(self):
+        scenario = _hier_scenario()
+        # Canonicalisation filled every defaulted key explicitly.
+        assert scenario.clusters["assignment_seed"] == 0
+        assert scenario.clusters["executor"] == "serial"
+        assert scenario.clusters["fl_pool"] == 48
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored.clusters == scenario.clusters
+        assert restored == scenario
+        assert scenario_hash(restored) == scenario_hash(scenario)
+
+    def test_flat_scenarios_carry_no_clusters_key(self):
+        flat = Scenario.from_preset("smoke", "mnist_o")
+        assert flat.clusters == {}
+        assert "clusters" not in flat.to_dict()
+
+    def test_flat_hashes_pinned_to_main(self):
+        smoke = Scenario.from_preset("smoke", "mnist_o")
+        paper = Scenario.from_preset(
+            "paper", "mnist_o", schemes=("FMore", "RandFL"), seeds=(0,)
+        )
+        assert scenario_hash(smoke) == FLAT_HASH_PINS["smoke"]
+        assert scenario_hash(paper) == FLAT_HASH_PINS["paper"]
+
+    def test_clusters_spec_rejected_on_flat_variants(self):
+        with pytest.raises(ValueError, match="variant='hierarchical'"):
+            Scenario.from_preset("smoke", "mnist_o", clusters={"count": 4})
+
+    def test_hierarchical_needs_count(self):
+        with pytest.raises(ValueError, match="count"):
+            _hier_scenario(clusters={})
+
+    def test_round_policies_rejected(self):
+        with pytest.raises(ValueError, match="round policies"):
+            _hier_scenario(policies={"churn": {"departure_prob": 0.1}})
+
+    def test_second_score_rejected(self):
+        with pytest.raises(ValueError, match="first_score"):
+            _hier_scenario(payment_rule="second_score")
+
+    def test_distributed_is_not_an_in_round_executor(self):
+        with pytest.raises(ValueError, match="in-round pool"):
+            _hier_scenario(clusters={**CLUSTERS, "executor": "distributed"})
+
+    def test_in_round_executor_is_plan_not_content(self):
+        """Serial/thread/process fan-out shares one content address."""
+        serial = _hier_scenario()
+        threaded = _hier_scenario(
+            clusters={**CLUSTERS, "executor": "thread", "max_workers": 2}
+        )
+        assert scenario_hash(threaded) == scenario_hash(serial)
+
+
+# ----------------------------------------------------------------------
+# Seeded cluster assignment
+# ----------------------------------------------------------------------
+class TestClusterAssignment:
+    def _population(self, assignment_seed=0, pop_seed=0):
+        spec = _hier_scenario(
+            clusters={**CLUSTERS, "assignment_seed": assignment_seed}
+        ).clusters
+        n = 400
+        return build_population(
+            n,
+            np.linspace(0.1, 1.0, n),
+            (60, 240),
+            spec,
+            rng_from(pop_seed, "hier-pop-test"),
+            rng_from(spec["assignment_seed"], "hier-clusters-test"),
+            category_floor=0.1,
+            availability_min_fraction=0.6,
+            theta_jitter=0.02,
+            theta_support=(0.1, 1.0),
+        )
+
+    def test_partition_depends_on_assignment_seed_alone(self):
+        a = self._population(assignment_seed=0, pop_seed=0)
+        b = self._population(assignment_seed=0, pop_seed=7)
+        c = self._population(assignment_seed=5, pop_seed=0)
+        assert np.array_equal(a.cluster_ids, b.cluster_ids)
+        assert not np.array_equal(a.cluster_ids, c.cluster_ids)
+
+    def test_assignment_is_deterministic(self):
+        ids1 = assign_clusters(1000, 10, "lognormal", rng_from(3, "part"))
+        ids2 = assign_clusters(1000, 10, "lognormal", rng_from(3, "part"))
+        assert np.array_equal(ids1, ids2)
+
+    def test_members_partition_the_population(self):
+        pop = self._population()
+        assert int(pop.cluster_sizes.sum()) == pop.n_nodes
+        gathered = np.sort(np.concatenate(pop.members))
+        assert np.array_equal(gathered, np.arange(pop.n_nodes))
+        for cid, idx in enumerate(pop.members):
+            assert np.all(pop.cluster_ids[idx] == cid)
+
+    def test_skews_stay_inside_the_supports(self):
+        pop = self._population()
+        assert np.all((pop.thetas >= 0.1) & (pop.thetas <= 1.0))
+        assert np.all((pop.data_sizes >= 60) & (pop.data_sizes <= 240))
+
+
+# ----------------------------------------------------------------------
+# Executor-independent rounds
+# ----------------------------------------------------------------------
+class TestExecutorDeterminism:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_fanout_bitwise_equals_serial(self, executor, hier_reference):
+        scenario, reference = hier_reference
+        plan = scenario.with_(
+            clusters={**CLUSTERS, "executor": executor, "max_workers": 2}
+        )
+        result = FMoreEngine().run(plan)
+        assert result.histories == reference.histories
+
+    def test_cluster_round_actions_and_metrics_columns(self, hier_reference):
+        _, reference = hier_reference
+        history = reference.history("FMore")
+        for record in history.records:
+            kinds = [a.kind for a in record.policy_actions]
+            assert kinds == ["cluster_round"]
+            payload = record.policy_actions[0].payload
+            assert len(payload["selected"]) <= CLUSTERS["k_clusters"]
+            assert payload["n_local_winners"] >= len(payload["selected"])
+        frame = reference.metrics()
+        assert "cluster_selected_mean" in frame.columns
+        selected = frame.filter(scheme="FMore").column("cluster_selected_mean")
+        assert all(1 <= v <= CLUSTERS["k_clusters"] for v in selected)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume mid-hierarchical-run
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_snapshot_restores_bitwise(self, hier_reference):
+        scenario, reference = hier_reference
+        session = FMoreEngine().session(scenario, "FMore", 0)
+        next(session)
+        checkpoint = session.snapshot()
+        assert checkpoint.round_index == 1
+        resumed = FMoreEngine().resume(checkpoint).run()
+        assert resumed == reference.history("FMore")
+
+    def test_store_resume_manifests_byte_identical(
+        self, tmp_path, hier_reference
+    ):
+        scenario, reference = hier_reference
+        root = tmp_path / "store"
+        with pytest.raises(IncompleteRunError):
+            FMoreEngine().run(
+                scenario, store=root, checkpoint_every=1, stop_after=1
+            )
+        resumed = FMoreEngine().run(scenario, store=root, resume=True)
+        assert resumed.histories == reference.histories
+        pristine = reference.save(ExperimentStore(tmp_path / "pristine"))
+        store = ExperimentStore(root)
+        a = store.manifest_path(scenario, "FMore", 0).read_bytes()
+        b = pristine.manifest_path(scenario, "FMore", 0).read_bytes()
+        assert a == b
+        assert store.load_checkpoint(scenario, "FMore", 0) is None
+
+
+# ----------------------------------------------------------------------
+# Argpartition rankings (the flat hot path's satellite)
+# ----------------------------------------------------------------------
+def _reference_order(scores, tiebreak):
+    """The historical full sort: descending score, ascending tie-break."""
+    return sorted(range(len(scores)), key=lambda i: (-scores[i], tiebreak[i]))
+
+
+class TestPartialRanking:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_descending_order_matches_sorted(self, trial):
+        rng = np.random.default_rng(trial)
+        scores = rng.normal(size=200)
+        tiebreak = rng.random(200)
+        assert descending_order(scores, tiebreak).tolist() == _reference_order(
+            scores, tiebreak
+        )
+
+    @pytest.mark.parametrize("k", [1, 7, 50, 199, 200, 300])
+    def test_top_k_order_is_the_full_sorts_head(self, k):
+        rng = np.random.default_rng(99)
+        # Integer scores force heavy boundary ties, the hard case for the
+        # argpartition cut.
+        scores = rng.integers(0, 10, size=200).astype(float)
+        tiebreak = rng.random(200)
+        expected = _reference_order(scores, tiebreak)[: min(k, 200)]
+        assert top_k_order(scores, tiebreak, k).tolist() == expected
+
+    def test_all_tied_scores(self):
+        scores = np.zeros(50)
+        tiebreak = np.random.default_rng(1).random(50)
+        expected = _reference_order(scores, tiebreak)[:5]
+        assert top_k_order(scores, tiebreak, 5).tolist() == expected
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_auction_top_k_ranking_equals_full(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        bids = [
+            Bid(i, rng.uniform(0.0, 5.0, 2), float(rng.uniform(0.0, 3.0)))
+            for i in range(60)
+        ]
+        rule = AdditiveScore([0.5, 0.5])
+        full = MultiDimensionalProcurementAuction(rule, 8, ranking="full")
+        fast = MultiDimensionalProcurementAuction(rule, 8, ranking="top_k")
+        out_full = full.run(bids, rng_from(trial, "rank-tie"))
+        out_fast = fast.run(bids, rng_from(trial, "rank-tie"))
+        assert out_fast.winner_ids == out_full.winner_ids
+        assert [w.charged_payment for w in out_fast.winners] == [
+            w.charged_payment for w in out_full.winners
+        ]
+        # The fast path's scored_bids is the full order's head.
+        assert [sb.bid.node_id for sb in out_fast.scored_bids] == [
+            sb.bid.node_id for sb in out_full.scored_bids[:8]
+        ]
