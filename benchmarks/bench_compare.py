@@ -16,6 +16,14 @@ each artifact:
 * ``hier_round.<n>.seconds`` — one full two-tier hierarchical round per
   population size (``bench_hierarchical.py``).
 
+Artifacts with a ``coordinator`` section (``bench_coordinator.py``) get
+the ``coord:*`` gates: the warm service sweep must stay under 2x warm
+serial, and every non-serial tier must have landed byte-identical
+manifests.  These are *absolute* bounds on the current artifact (the
+tiers train models, so their raw seconds are too noisy for the relative
+trajectory band); the per-tier overheads are still printed against the
+previous artifact so the trajectory stays visible.
+
 The sweep section trains neural nets and the flat-round baseline of the
 hierarchical bench walks agents in Python — both are reported but not
 gated.  A missing/corrupt previous artifact is not an error: the first
@@ -111,6 +119,23 @@ def compare(
         prev_s = prev_row.get("seconds")
         prev_txt = f"{prev_s:.3f}s" if isinstance(prev_s, (int, float)) else "-"
         print(f"sweep:{name:<11} {prev_txt:>9} -> {row['seconds']:.3f}s (informational)")
+    # Coordination tiers (bench_coordinator.py): overhead-vs-serial per
+    # tier, with the absolute coord:* bounds checked on the current run.
+    coord = current.get("coordinator", {})
+    prev_coord = previous.get("coordinator", {})
+    for name, row in sorted(coord.items()):
+        if not isinstance(row, dict) or "overhead" not in row:
+            continue
+        prev = prev_coord.get(name, {}).get("overhead")
+        prev_txt = f"{prev:.2f}x" if isinstance(prev, (int, float)) else "-"
+        print(
+            f"coord:{name:<13} {prev_txt:>8} -> {row['overhead']:.2f}x serial "
+            f"({row['seconds']:.3f}s)"
+        )
+    if coord:
+        from bench_coordinator import gate_failures
+
+        failures.extend(gate_failures(coord))
     # The hierarchical bench's flat baseline walks agents in Python —
     # reported so the speedup stays visible, never gated.
     flat = current.get("flat_round")

@@ -208,12 +208,13 @@ def time_sweeps(quick: bool = True) -> dict:
         execution: dict = {"executor": name, "max_workers": 2}
         run_kwargs: dict = {}
         tmp_store = None
-        if name == "distributed":
-            # The distributed executor coordinates through a store; give
-            # it a throwaway one so the timing covers the whole
-            # enqueue -> spawn workers -> poll manifests path.
+        if name in ("distributed", "service"):
+            # The store-coordinated executors schedule through a store;
+            # give each a throwaway one so the timing covers the whole
+            # enqueue -> spawn workers -> manifests path (for "service"
+            # that includes starting the embedded coordinator).
             execution["poll_interval"] = 0.1
-            tmp_store = tempfile.TemporaryDirectory(prefix="bench-dist-store-")
+            tmp_store = tempfile.TemporaryDirectory(prefix=f"bench-{name}-store-")
             run_kwargs["store"] = tmp_store.name
         plan = scenario.with_(execution=execution)
         try:

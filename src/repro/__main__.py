@@ -35,6 +35,12 @@ Usage::
     python -m repro worker --store runs/             # worker on any machine
     python -m repro scenario --preset bench --emit-jobs jobs/  # SLURM-style scripts
 
+    # Event-driven coordination: push-based sweeps over the same store.
+    python -m repro coordinator --store runs/ --port 7464    # the service
+    python -m repro worker --coordinator http://HOST:7464    # warm worker
+    python -m repro run --preset bench --set seeds=0,1,2,3 --store runs/ \
+        --executor service --coordinator http://HOST:7464    # submit a sweep
+
     # Registry reference: every scenario-addressable component spec.
     python -m repro registry                         # plain summary
     python -m repro registry --markdown              # docs/scenario_reference.md
@@ -77,6 +83,7 @@ COMMANDS = (
     "scenario",
     "report",
     "worker",
+    "coordinator",
     "registry",
 )
 
@@ -195,20 +202,39 @@ def _load_scenario(args) -> "object":
             scenario = scenario.with_overrides(args.overrides)
         if args.policies:
             scenario = scenario.with_overrides(_policy_overrides(args.policies))
-        if args.executor is not None or args.parallel is not None:
+        store_executors = ("distributed", "service")
+        if (
+            args.executor is not None
+            or args.parallel is not None
+            or args.coordinator is not None
+        ):
             execution = dict(scenario.execution)
             if args.executor is not None:
                 execution["executor"] = args.executor
+            if args.coordinator is not None:
+                # --coordinator URL implies the service executor.
+                if args.executor not in (None, "service"):
+                    raise SystemExit(
+                        "error: --coordinator only applies to "
+                        "--executor service"
+                    )
+                execution["executor"] = "service"
+                execution["coordinator_url"] = args.coordinator
             if args.parallel is not None:
                 execution["max_workers"] = args.parallel
-                if args.executor is None and execution["executor"] != "distributed":
+                if (
+                    args.executor is None
+                    and execution["executor"] not in store_executors
+                ):
                     execution["executor"] = "process"
-            if execution["executor"] != "distributed":
-                # The distributed-only coordination knobs (filled in by
+            if execution["executor"] not in store_executors:
+                # The store-coordination knobs (filled in by
                 # canonicalisation) must not survive a switch to a pool
                 # executor — Scenario validation rejects them there.
                 execution.pop("lease_seconds", None)
                 execution.pop("poll_interval", None)
+            if execution["executor"] != "service":
+                execution.pop("coordinator_url", None)
             scenario = scenario.with_(execution=execution)
     except (ValueError, TypeError, json.JSONDecodeError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -239,26 +265,67 @@ def _cmd_scenario(args) -> int:
 
 
 def _cmd_worker(args) -> int:
-    """Claim and run queued cells from a shared experiment store."""
-    from .api import StoreMismatchError, run_worker
+    """Claim and run queued cells — filesystem polling or coordinator push."""
+    from .api import CoordinatorError, StoreMismatchError, run_worker
 
-    if args.store is None:
-        raise SystemExit("error: worker needs --store DIR (the shared store)")
+    if args.store is None and args.coordinator is None:
+        raise SystemExit(
+            "error: worker needs --store DIR (the shared store) and/or "
+            "--coordinator URL (the push service)"
+        )
     label = args.worker_id
     try:
         completed = run_worker(
             args.store,
+            coordinator=args.coordinator,
             poll_interval=args.poll_interval,
             max_cells=args.max_cells,
             exit_when_idle=args.exit_when_idle,
             worker_id=label,
         )
-    except StoreMismatchError as exc:
+    except (StoreMismatchError, CoordinatorError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("\nworker interrupted; claimed cells will be re-queued by lease")
         return 1
     print(f"worker{f' {label}' if label else ''}: completed {completed} cell(s)")
+    return 0
+
+
+def _cmd_coordinator(args) -> int:
+    """Run the event-driven coordination service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .api import CoordinatorService
+
+    if args.store is None:
+        raise SystemExit("error: coordinator needs --store DIR (the shared store)")
+    service = CoordinatorService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+    )
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(
+            service.serve(install_signal_handlers=True)
+        )
+        while not service.ready.is_set() and not task.done():
+            await asyncio.sleep(0.01)  # let serve() bind before announcing
+        if service.ready.is_set() and service.error is None:
+            print(
+                f"coordinator: {service.url} over store {args.store} "
+                "(SIGTERM/SIGINT or POST /shutdown to stop)",
+                flush=True,
+            )
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    print("coordinator: stopped (queue state persists in the store mirror)")
     return 0
 
 
@@ -319,7 +386,7 @@ def _cmd_run(args) -> int:
     print(ascii_table(["scheme", "final acc", "payment"], rows))
     executor = scenario.execution["executor"]
     workers = scenario.execution["max_workers"]
-    if executor in ("process", "distributed"):
+    if executor in ("process", "distributed", "service"):
         # Solver builds happen inside the worker processes (one cache
         # each); the parent engine's counters would misleadingly read 0.
         print(
@@ -604,10 +671,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--executor",
         default=None,
-        choices=("serial", "thread", "process", "distributed"),
+        choices=("serial", "thread", "process", "distributed", "service"),
         help="executor family for `run` (default: the scenario's execution "
         "spec); `distributed` coordinates cells through --store and needs "
-        "workers (spawned via --parallel N, or external `repro worker`s)",
+        "workers (spawned via --parallel N, or external `repro worker`s); "
+        "`service` pushes cells through the event-driven coordinator "
+        "(--coordinator URL, or an embedded one when omitted)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="coordinator base URL (http://host:port): `run` submits the "
+        "sweep to it (implies --executor service); `worker` long-polls it "
+        "for pushed cells instead of scanning --store",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="with `coordinator`: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="P",
+        help="with `coordinator`: TCP port to bind (default 0 = ephemeral, "
+        "printed at startup)",
     )
     parser.add_argument(
         "--store",
@@ -695,7 +786,8 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=1.0,
         metavar="SECONDS",
-        help="with `worker`: idle sleep between job-queue scans (default 1.0)",
+        help="with `worker`/`coordinator`: idle-scan backoff cap / janitor "
+        "tick (default 1.0)",
     )
     parser.add_argument(
         "--max-cells",
@@ -752,6 +844,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "coordinator":
+        return _cmd_coordinator(args)
     if args.command == "registry":
         return _cmd_registry(args)
     raise AssertionError("unreachable")

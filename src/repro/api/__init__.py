@@ -35,10 +35,15 @@ Sweeps also scale past one machine: the ``"distributed"`` executor
 the coordinator enqueues per-cell job specs, ``python -m repro worker``
 processes on any machine sharing the filesystem claim them with
 lease-guarded lock files (work-stealing, crash re-queue), and the
-assembled ``RunResult`` is bitwise-identical to a serial run.  For batch
-clusters without a resident coordinator, ``emit_job_scripts`` (CLI:
-``python -m repro scenario --emit-jobs DIR``) writes SLURM-style
-per-cell scripts speaking the same store protocol.
+assembled ``RunResult`` is bitwise-identical to a serial run.  The
+``"service"`` executor (:mod:`repro.api.coordinator`) layers an
+event-driven tier on the same protocol: an asyncio coordinator service
+owns the queue in memory (mirrored to the store for durability and
+mixed fleets) and *pushes* cells to warm workers over long-poll instead
+of every worker polling the filesystem.  For batch clusters without a
+resident coordinator, ``emit_job_scripts`` (CLI: ``python -m repro
+scenario --emit-jobs DIR``) writes SLURM-style per-cell scripts
+speaking the same store protocol.
 
 See ``docs/ARCHITECTURE.md`` for the layer map, ``docs/deployment.md``
 for the distributed cookbook, and ``docs/scenario_reference.md`` for
@@ -59,11 +64,21 @@ from .engine import (
     make_session,
     run_scheme,
 )
+from .coordinator import (
+    CoordinatorError,
+    CoordinatorHandle,
+    CoordinatorService,
+    ServiceExecutor,
+    ServiceLink,
+    WorkerClient,
+    start_coordinator,
+)
 from .distributed import (
     DistributedExecutor,
     Job,
     JobQueue,
     emit_job_scripts,
+    idle_backoff,
     run_worker,
 )
 from .executor import (
@@ -105,10 +120,18 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "DistributedExecutor",
+    "ServiceExecutor",
+    "CoordinatorService",
+    "CoordinatorHandle",
+    "CoordinatorError",
+    "ServiceLink",
+    "WorkerClient",
+    "start_coordinator",
     "JobQueue",
     "Job",
     "run_worker",
     "emit_job_scripts",
+    "idle_backoff",
     "ExperimentStore",
     "Checkpoint",
     "StoreError",

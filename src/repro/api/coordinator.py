@@ -1,0 +1,1330 @@
+"""Event-driven coordination service: push-based sweeps over the store.
+
+The filesystem queue of :mod:`repro.api.distributed` coordinates by
+*polling* — workers re-scan ``jobs/`` and the coordinator re-stats
+manifests every ``poll_interval`` — which is robust but slow: startup
+and poll latency dominate small sweeps, exactly the regime FMore's MEC
+aggregator lives in (one auction round per network beat, PAPER.md §III).
+This module adds the event-driven tier on top of the *same* store
+protocol:
+
+* :class:`CoordinatorService` — an asyncio TCP server speaking a minimal
+  hand-rolled HTTP/1.1 (stdlib only, JSON bodies, ``Connection: close``)
+  that owns the job queue **in memory** and pushes cells to connected
+  workers over long-poll ``/claim`` requests.  Durability is delegated
+  to the store: every queued cell is still mirrored as a job spec under
+  ``jobs/<hash>/`` and every dispatch takes the cell's filesystem lock
+  (under the *claiming worker's* label), so plain filesystem workers,
+  SLURM scripts and a restarted coordinator all interoperate — the
+  in-memory queue is rebuilt from the mirror at startup, and a janitor
+  task re-queues lease-expired claims with the exact semantics of
+  :meth:`repro.api.distributed.JobQueue.reclaim_stale`.
+* :class:`WorkerClient` / :class:`ServiceLink` — the worker side:
+  register (learning the store location), long-poll for pushed cells,
+  stream one round-completion event per round through ``/heartbeat``,
+  report ``/complete`` / ``/release``.  When the coordinator becomes
+  unreachable the link detaches and :func:`repro.api.distributed.run_worker`
+  falls back to filesystem claims against the mirror, re-attaching when
+  the coordinator returns.
+* :class:`ServiceExecutor` — the registry-registered ``"service"``
+  executor.  ``execution={"executor": "service", "coordinator_url":
+  "http://host:port"}`` submits the sweep to a running coordinator;
+  with ``coordinator_url=None`` it embeds a coordinator thread on an
+  ephemeral port and keeps its spawned workers *warm* across
+  ``execute_plan`` calls (the coordinator hands them the next sweep's
+  cells without a process restart).
+
+Determinism contract: the service tier schedules the *same* engine
+session path as every other executor, so a service-executed sweep's
+manifests are byte-identical to serial's (pinned in
+``tests/test_coordinator.py``).  Protocol summary::
+
+    POST /register   {worker}                          -> {store, poll_interval}
+    POST /sweep      {scenario, cells, resume, ...}    -> {hash, queued}
+    POST /claim      {worker, timeout}                 -> {job | null}   (long-poll)
+    POST /heartbeat  {worker, scenario_hash, scheme, seed, round} -> {alive}
+    POST /release    {worker, scenario_hash, scheme, seed}        -> {ok}
+    POST /complete   {worker, scenario_hash, scheme, seed}        -> {ok, outstanding}
+    GET  /status?hash=H&timeout=T                      -> {done, outstanding} (long-poll)
+    GET  /health                                       -> {ok, counts...}
+    POST /shutdown   {}                                -> {ok}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.parse
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.registry import EXECUTORS
+from .distributed import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_POLL_INTERVAL,
+    Job,
+    JobQueue,
+)
+from .executor import Executor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scenario import Scenario
+    from .store import ExperimentStore
+
+__all__ = [
+    "CoordinatorService",
+    "CoordinatorHandle",
+    "CoordinatorError",
+    "ServiceExecutor",
+    "ServiceLink",
+    "WorkerClient",
+    "start_coordinator",
+]
+
+#: Server-side cap on long-poll hold times (claim and status); clients
+#: simply re-issue the request, so the cap only bounds connection age.
+MAX_LONG_POLL = 30.0
+
+#: Errors that mean "the coordinator is unreachable or spoke garbage" —
+#: every client falls back to the filesystem protocol on these.
+_UNREACHABLE = (OSError, http.client.HTTPException, json.JSONDecodeError)
+
+
+class CoordinatorError(RuntimeError):
+    """The coordinator answered with an application-level error."""
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP: client helper + server-side request framing
+# ----------------------------------------------------------------------
+def _request(
+    base_url: str,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    *,
+    timeout: float = 10.0,
+) -> dict:
+    """One JSON-over-HTTP exchange with the coordinator.
+
+    Raises :class:`CoordinatorError` for non-200 answers and lets the
+    transport errors in ``_UNREACHABLE`` propagate — callers distinguish
+    "coordinator said no" from "coordinator is gone".
+    """
+    parsed = urllib.parse.urlsplit(base_url)
+    conn = http.client.HTTPConnection(
+        parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=timeout
+    )
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json", "Connection": "close"}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise CoordinatorError(
+                f"{method} {path} -> {response.status}: "
+                f"{data.decode(errors='replace')[:200]}"
+            )
+        return json.loads(data) if data else {}
+    finally:
+        conn.close()
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], dict]:
+    """Parse one request: ``(method, path, query_params, json_body)``."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("empty request")
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    payload = json.loads(body) if body else {}
+    path, _, query = target.partition("?")
+    params = dict(urllib.parse.parse_qsl(query))
+    return method, path, params, payload
+
+
+def _response_bytes(status: int, payload: dict) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(status, "Error")
+    data = json.dumps(payload).encode()
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + data
+
+
+# ----------------------------------------------------------------------
+# The coordinator service
+# ----------------------------------------------------------------------
+class CoordinatorService:
+    """In-memory job queue with a store mirror and long-poll dispatch.
+
+    All state lives on the event-loop thread; request handlers and the
+    janitor are coroutines on that loop, so no locking beyond the two
+    :class:`asyncio.Condition` wakeups is needed.  Store I/O (job-spec
+    mirroring, lock files, manifest stats) happens inline on the loop —
+    each operation is a handful of small-file syscalls, far below the
+    poll latency this service exists to remove.
+
+    The mirror keeps three invariants that make mixed fleets and crash
+    recovery work:
+
+    * every in-memory pending cell has a job spec under ``jobs/<hash>/``
+      (so filesystem workers can steal it, and a restarted coordinator
+      rebuilds the queue from the directory);
+    * every dispatched cell holds the filesystem lock *under the claiming
+      worker's label* (so the worker can keep heartbeating the lock
+      directly when the coordinator dies, and filesystem workers see the
+      cell as owned);
+    * cells locked by someone the coordinator never dispatched to are
+      *deferred*, watched by the janitor until their manifest lands or
+      their lease expires — never double-dispatched.
+    """
+
+    def __init__(
+        self,
+        store: "ExperimentStore | str | Path",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ):
+        from .store import ExperimentStore
+
+        self.store = ExperimentStore.coerce(store)
+        self.queue = JobQueue(self.store)
+        self.host = str(host)
+        self.port = int(port)
+        self.poll_interval = float(poll_interval)
+        if self.poll_interval <= 0.0:
+            raise ValueError("poll_interval must be > 0")
+        # -- queue state (event-loop thread only) -----------------------
+        self._sweeps: dict[str, dict] = {}  # hash -> lease/resume/ckpt + outstanding
+        self._pending: deque[tuple[str, str, int]] = deque()
+        self._pending_set: set[tuple[str, str, int]] = set()
+        self._deferred: set[tuple[str, str, int]] = set()  # externally locked
+        self._claims: dict[tuple[str, str, int], dict] = {}
+        self._workers: dict[str, dict] = {}
+        self._rounds_seen = 0  # round-completion events streamed so far
+        # -- loop plumbing ----------------------------------------------
+        self._work_cond: asyncio.Condition | None = None
+        self._status_cond: asyncio.Condition | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.ready = threading.Event()  # set once the port is bound
+        self.error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve(self, *, install_signal_handlers: bool = False) -> None:
+        """Run the service until :meth:`request_stop` (or SIGTERM/SIGINT)."""
+        self._loop = asyncio.get_running_loop()
+        self._work_cond = asyncio.Condition()
+        self._status_cond = asyncio.Condition()
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            import signal
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        try:
+            self._rebuild_from_mirror()
+            server = await asyncio.start_server(self._handle, self.host, self.port)
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self.error = exc
+            self.ready.set()
+            raise
+        self.port = server.sockets[0].getsockname()[1]
+        self.ready.set()
+        janitor = asyncio.create_task(self._janitor())
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            janitor.cancel()
+            server.close()
+            await server.wait_closed()
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (used by :class:`CoordinatorHandle`)."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    def _rebuild_from_mirror(self) -> None:
+        """Reload queue state from ``jobs/`` — coordinator crash recovery.
+
+        Job specs are the durable queue; locks say who owns what.  Cells
+        with a live lock were claimed by workers that have fallen back to
+        filesystem heartbeats — they are deferred (the janitor adopts or
+        reclaims them); stale locks are stolen and the cells re-queued.
+        """
+        for path in self.queue._job_paths():
+            data = self.queue._read_job(path)
+            if data is None:
+                continue
+            h = str(data["scenario_hash"])
+            scheme, seed = str(data["scheme"]), int(data["seed"])
+            if self.store.has_cell(h, scheme, seed):
+                self.queue._remove(path)
+                self.queue._remove(self.queue.lock_path_for(path))
+                continue
+            sweep = self._sweeps.setdefault(
+                h,
+                {
+                    "resume": bool(data.get("resume", False)),
+                    "checkpoint_every": data.get("checkpoint_every"),
+                    "lease_seconds": float(
+                        data.get("lease_seconds", DEFAULT_LEASE_SECONDS)
+                    ),
+                    "outstanding": set(),
+                },
+            )
+            key = (h, scheme, seed)
+            sweep["outstanding"].add((scheme, seed))
+            lock = self.queue.lock_path_for(path)
+            if lock.exists() and not self.queue._is_stale(lock):
+                self._deferred.add(key)
+            else:
+                if lock.exists():
+                    self.queue._steal(lock)
+                self._enqueue_key(key)
+
+    # -- request handling -----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, params, payload = await _read_request(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:
+            writer.write(_response_bytes(400, {"error": str(exc)}))
+            await writer.drain()
+            writer.close()
+            return
+        try:
+            status, reply = await self._dispatch(method, path, params, payload)
+        except CoordinatorError as exc:
+            status, reply = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - handler bugs
+            status, reply = 400, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            writer.write(_response_bytes(status, reply))
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(
+        self, method: str, path: str, params: dict, payload: dict
+    ) -> tuple[int, dict]:
+        route = (method, path)
+        if route == ("GET", "/health"):
+            return 200, self._health()
+        if route == ("POST", "/register"):
+            return 200, self._register(payload)
+        if route == ("POST", "/sweep"):
+            return 200, await self._sweep(payload)
+        if route == ("POST", "/claim"):
+            return 200, await self._claim(payload)
+        if route == ("POST", "/heartbeat"):
+            return 200, self._heartbeat(payload)
+        if route == ("POST", "/release"):
+            return 200, await self._release(payload)
+        if route == ("POST", "/complete"):
+            return 200, await self._complete(payload)
+        if route == ("GET", "/status"):
+            return 200, await self._status(params)
+        if route == ("POST", "/shutdown"):
+            assert self._stop is not None
+            self._stop.set()
+            return 200, {"ok": True}
+        return 404, {"error": f"no route {method} {path}"}
+
+    def _health(self) -> dict:
+        outstanding = sum(len(s["outstanding"]) for s in self._sweeps.values())
+        return {
+            "ok": True,
+            "store": str(self.store.root.resolve()),
+            "pending": len(self._pending),
+            "claimed": len(self._claims),
+            "deferred": len(self._deferred),
+            "outstanding": outstanding,
+            "workers": len(self._workers),
+            "rounds_seen": self._rounds_seen,
+        }
+
+    def _register(self, payload: dict) -> dict:
+        worker = str(payload.get("worker", ""))
+        if not worker:
+            raise CoordinatorError("register needs a worker label")
+        entry = self._workers.setdefault(
+            worker, {"registered_at": time.time(), "completed": 0}
+        )
+        entry["last_seen"] = time.time()
+        return {
+            "ok": True,
+            # Resolved: workers on other cwds (or machines mounting the
+            # same share at the same absolute path) must agree on it.
+            "store": str(self.store.root.resolve()),
+            "poll_interval": self.poll_interval,
+        }
+
+    async def _sweep(self, payload: dict) -> dict:
+        """Accept a sweep: mirror its job specs, queue the missing cells."""
+        from .scenario import Scenario
+
+        scenario = Scenario.from_dict(payload["scenario"])
+        cells = [(str(s), int(d)) for s, d in payload["cells"]]
+        resume = bool(payload.get("resume", False))
+        checkpoint_every = payload.get("checkpoint_every")
+        lease_seconds = float(payload.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+        force = bool(payload.get("force", False))
+        h = self.store.register_scenario(scenario)
+        if force:
+            for scheme, seed in cells:
+                try:
+                    self.store.manifest_path(h, scheme, seed).unlink()
+                except FileNotFoundError:
+                    pass
+        # Mirror first: the store is the durable queue, memory the index.
+        self.queue.enqueue(
+            scenario,
+            cells,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            lease_seconds=lease_seconds,
+        )
+        sweep = self._sweeps.setdefault(
+            h,
+            {
+                "resume": resume,
+                "checkpoint_every": checkpoint_every,
+                "lease_seconds": lease_seconds,
+                "outstanding": set(),
+            },
+        )
+        queued = 0
+        for scheme, seed in cells:
+            key = (h, scheme, seed)
+            if self.store.has_cell(h, scheme, seed):
+                continue
+            if (
+                key in self._pending_set
+                or key in self._claims
+                or key in self._deferred
+            ):
+                sweep["outstanding"].add((scheme, seed))
+                continue  # idempotent re-submission of a live sweep
+            sweep["outstanding"].add((scheme, seed))
+            lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+            if lock.exists() and not self.queue._is_stale(lock):
+                self._deferred.add(key)  # a filesystem worker beat us to it
+                continue
+            self._enqueue_key(key)
+            queued += 1
+        if queued:
+            await self._notify(self._work_cond)
+        if not sweep["outstanding"]:
+            await self._notify(self._status_cond)
+        return {"ok": True, "hash": h, "queued": queued,
+                "outstanding": len(sweep["outstanding"])}
+
+    async def _claim(self, payload: dict) -> dict:
+        """Long-poll dispatch: hold until a cell is pushable or timeout."""
+        worker = str(payload.get("worker", ""))
+        if not worker:
+            raise CoordinatorError("claim needs a worker label")
+        timeout = min(float(payload.get("timeout", 1.0)), MAX_LONG_POLL)
+        entry = self._workers.setdefault(
+            worker, {"registered_at": time.time(), "completed": 0}
+        )
+        assert self._loop is not None and self._work_cond is not None
+        deadline = self._loop.time() + timeout
+        async with self._work_cond:
+            while True:
+                entry["last_seen"] = time.time()
+                descriptor = self._next_claim(worker)
+                if descriptor is not None:
+                    return {"job": descriptor}
+                remaining = deadline - self._loop.time()
+                if remaining <= 0.0:
+                    return {"job": None}
+                try:
+                    await asyncio.wait_for(self._work_cond.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return {"job": None}
+
+    def _next_claim(self, worker: str) -> dict | None:
+        """Pop the first dispatchable pending cell and lock it for ``worker``."""
+        while self._pending:
+            key = self._pending.popleft()
+            self._pending_set.discard(key)
+            h, scheme, seed = key
+            sweep = self._sweeps.get(h)
+            if sweep is None:
+                continue
+            if self.store.has_cell(h, scheme, seed):
+                self._finalize_done(key)
+                continue
+            lease = float(sweep["lease_seconds"])
+            lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+            # The mirror lock is taken under the *worker's* label so the
+            # worker can fall back to direct filesystem heartbeats if
+            # this coordinator dies mid-cell.
+            if not self.queue._acquire(lock, worker, lease):
+                self._deferred.add(key)  # someone on the fs owns it
+                continue
+            self._claims[key] = {
+                "worker": worker,
+                "deadline": time.time() + (lease or DEFAULT_LEASE_SECONDS),
+                "lease_seconds": lease,
+                "rounds": 0,
+            }
+            return {
+                "scenario_hash": h,
+                "scheme": scheme,
+                "seed": seed,
+                "resume": bool(sweep["resume"]),
+                "checkpoint_every": sweep["checkpoint_every"],
+                "lease_seconds": lease,
+            }
+        return None
+
+    def _heartbeat(self, payload: dict) -> dict:
+        """Renew a claim's in-memory lease; one round-completion event.
+
+        Also the re-attach path: a worker whose claim predates a
+        coordinator restart (its cell sits in the deferred set, its
+        filesystem lock under its own label) is *adopted* back into the
+        claim table on its first heartbeat.
+        """
+        worker = str(payload.get("worker", ""))
+        key = (
+            str(payload.get("scenario_hash", "")),
+            str(payload.get("scheme", "")),
+            int(payload.get("seed", -1)),
+        )
+        rounds = int(payload.get("round", 0))
+        entry = self._workers.setdefault(
+            worker, {"registered_at": time.time(), "completed": 0}
+        )
+        entry["last_seen"] = time.time()
+        self._rounds_seen += 1
+        claim = self._claims.get(key)
+        if claim is not None and claim["worker"] == worker:
+            lease = claim["lease_seconds"] or DEFAULT_LEASE_SECONDS
+            claim["deadline"] = time.time() + lease
+            claim["rounds"] = rounds
+            return {"alive": True}
+        h, scheme, seed = key
+        lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+        lock_data = self.queue._read_lock(lock)
+        if lock_data is not None and lock_data.get("worker") == worker:
+            sweep = self._sweeps.get(h)
+            lease = float(
+                sweep["lease_seconds"] if sweep is not None else DEFAULT_LEASE_SECONDS
+            )
+            self._deferred.discard(key)
+            self._pending_discard(key)
+            self._claims[key] = {
+                "worker": worker,
+                "deadline": time.time() + (lease or DEFAULT_LEASE_SECONDS),
+                "lease_seconds": lease,
+                "rounds": rounds,
+            }
+            return {"alive": True, "adopted": True}
+        return {"alive": False}
+
+    async def _release(self, payload: dict) -> dict:
+        worker = str(payload.get("worker", ""))
+        key = (
+            str(payload.get("scenario_hash", "")),
+            str(payload.get("scheme", "")),
+            int(payload.get("seed", -1)),
+        )
+        claim = self._claims.get(key)
+        if claim is None or claim["worker"] != worker:
+            return {"ok": False}
+        del self._claims[key]
+        h, scheme, seed = key
+        lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+        lock_data = self.queue._read_lock(lock)
+        if lock_data is not None and lock_data.get("worker") == worker:
+            self.queue._remove(lock)
+        self._enqueue_key(key)
+        await self._notify(self._work_cond)
+        return {"ok": True}
+
+    async def _complete(self, payload: dict) -> dict:
+        worker = str(payload.get("worker", ""))
+        key = (
+            str(payload.get("scenario_hash", "")),
+            str(payload.get("scheme", "")),
+            int(payload.get("seed", -1)),
+        )
+        h, scheme, seed = key
+        if not self.store.has_cell(h, scheme, seed):
+            # "Done" without a manifest is a worker bug; requeue instead
+            # of wedging the sweep on a phantom completion.
+            await self._release(payload)
+            return {"ok": False, "error": "no manifest for completed cell"}
+        entry = self._workers.setdefault(
+            worker, {"registered_at": time.time(), "completed": 0}
+        )
+        entry["last_seen"] = time.time()
+        entry["completed"] += 1
+        self._finalize_done(key)
+        sweep = self._sweeps.get(h)
+        remaining = len(sweep["outstanding"]) if sweep is not None else 0
+        await self._notify(self._status_cond)
+        return {"ok": True, "outstanding": remaining}
+
+    async def _status(self, params: dict) -> dict:
+        """Long-poll a sweep: hold until its outstanding set drains."""
+        h = str(params.get("hash", ""))
+        timeout = min(float(params.get("timeout", 0.0)), MAX_LONG_POLL)
+        assert self._loop is not None and self._status_cond is not None
+        deadline = self._loop.time() + timeout
+        async with self._status_cond:
+            while True:
+                sweep = self._sweeps.get(h)
+                remaining = len(sweep["outstanding"]) if sweep is not None else 0
+                if remaining == 0:
+                    return {"done": True, "outstanding": 0}
+                wait = deadline - self._loop.time()
+                if wait <= 0.0:
+                    return {"done": False, "outstanding": remaining}
+                try:
+                    await asyncio.wait_for(self._status_cond.wait(), wait)
+                except asyncio.TimeoutError:
+                    return {
+                        "done": False,
+                        "outstanding": len(
+                            self._sweeps.get(h, {"outstanding": ()})["outstanding"]
+                        ),
+                    }
+
+    # -- the janitor ----------------------------------------------------
+    async def _janitor(self) -> None:
+        """Lease expiry, external completion and crash re-claim, one tick
+        per ``poll_interval`` — the event-driven replacement for every
+        worker's own store polling."""
+        assert self._stop is not None
+        while not self._stop.is_set():
+            try:
+                await asyncio.wait_for(self._stop.wait(), self.poll_interval)
+                return
+            except asyncio.TimeoutError:
+                pass
+            try:
+                await self._tick()
+            except Exception:  # pragma: no cover - keep the janitor alive
+                pass
+
+    async def _tick(self) -> None:
+        now = time.time()
+        work_changed = False
+        status_changed = False
+        # Expired claims: the worker stopped heartbeating the coordinator.
+        for key, claim in list(self._claims.items()):
+            h, scheme, seed = key
+            if self.store.has_cell(h, scheme, seed):
+                self._finalize_done(key)
+                status_changed = True
+                continue
+            if now <= claim["deadline"]:
+                continue
+            lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+            if lock.exists() and not self.queue._is_stale(lock):
+                # The filesystem lock is still beating: the worker is
+                # alive but detached (coordinator restarted, or its link
+                # failed) — treat the cell as externally owned.
+                del self._claims[key]
+                self._deferred.add(key)
+                continue
+            if lock.exists():
+                self.queue._steal(lock)
+            del self._claims[key]
+            self._enqueue_key(key)
+            work_changed = True
+        # Deferred cells: owned by filesystem workers (or detached ones).
+        for key in list(self._deferred):
+            h, scheme, seed = key
+            if self.store.has_cell(h, scheme, seed):
+                self._finalize_done(key)
+                status_changed = True
+                continue
+            lock = self.queue.lock_path_for(self.queue.job_path(h, scheme, seed))
+            if not lock.exists():
+                self._deferred.discard(key)
+                self._enqueue_key(key)
+                work_changed = True
+            elif self.queue._is_stale(lock):
+                if self.queue._steal(lock):
+                    self._deferred.discard(key)
+                    self._enqueue_key(key)
+                    work_changed = True
+        # Pending cells completed externally before dispatch (a SLURM
+        # script or serial run landing manifests under the same hash).
+        for key in list(self._pending):
+            h, scheme, seed = key
+            if self.store.has_cell(h, scheme, seed):
+                self._finalize_done(key)
+                status_changed = True
+        if work_changed:
+            await self._notify(self._work_cond)
+        if status_changed:
+            await self._notify(self._status_cond)
+
+    # -- small state helpers --------------------------------------------
+    def _enqueue_key(self, key: tuple[str, str, int]) -> None:
+        if key not in self._pending_set:
+            self._pending.append(key)
+            self._pending_set.add(key)
+
+    def _pending_discard(self, key: tuple[str, str, int]) -> None:
+        if key in self._pending_set:
+            self._pending_set.discard(key)
+            try:
+                self._pending.remove(key)
+            except ValueError:  # pragma: no cover - set/deque drift
+                pass
+
+    def _finalize_done(self, key: tuple[str, str, int]) -> None:
+        """Retire a finished cell everywhere: mirror files and memory."""
+        h, scheme, seed = key
+        path = self.queue.job_path(h, scheme, seed)
+        self.queue._remove(path)
+        self.queue._remove(self.queue.lock_path_for(path))
+        self._pending_discard(key)
+        self._deferred.discard(key)
+        self._claims.pop(key, None)
+        sweep = self._sweeps.get(h)
+        if sweep is not None:
+            sweep["outstanding"].discard((scheme, seed))
+
+    @staticmethod
+    async def _notify(cond: asyncio.Condition | None) -> None:
+        if cond is not None:
+            async with cond:
+                cond.notify_all()
+
+
+# ----------------------------------------------------------------------
+# Thread embedding
+# ----------------------------------------------------------------------
+class CoordinatorHandle:
+    """A coordinator running on a daemon thread; ``stop()`` to shut down."""
+
+    def __init__(self, service: CoordinatorService, thread: threading.Thread):
+        self.service = service
+        self.thread = thread
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.service.request_stop()
+        self.thread.join(timeout=timeout)
+
+
+def start_coordinator(
+    store: "ExperimentStore | str | Path",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+) -> CoordinatorHandle:
+    """Start a :class:`CoordinatorService` on a background thread.
+
+    Blocks until the server socket is bound (so :attr:`CoordinatorHandle.url`
+    is immediately usable); ``port=0`` picks an ephemeral port.
+    """
+    service = CoordinatorService(
+        store, host=host, port=port, poll_interval=poll_interval
+    )
+
+    def _runner() -> None:
+        try:
+            asyncio.run(service.serve())
+        except BaseException as exc:  # pragma: no cover - loop crash
+            service.error = exc
+            service.ready.set()
+
+    thread = threading.Thread(target=_runner, name="fmore-coordinator", daemon=True)
+    thread.start()
+    service.ready.wait(timeout=30.0)
+    if service.error is not None:
+        raise CoordinatorError(
+            f"coordinator failed to start: {service.error}"
+        ) from service.error
+    return CoordinatorHandle(service, thread)
+
+
+# ----------------------------------------------------------------------
+# The worker side
+# ----------------------------------------------------------------------
+class WorkerClient:
+    """Thin, typed client over the coordinator's HTTP endpoints.
+
+    Raises the transport errors in ``_UNREACHABLE`` when the coordinator
+    is gone; :class:`ServiceLink` wraps this with detach/re-attach and
+    filesystem fallback for the worker loop.
+    """
+
+    def __init__(self, base_url: str, worker: str):
+        self.base_url = str(base_url).rstrip("/")
+        self.worker = str(worker)
+
+    def register(self, *, timeout: float = 5.0) -> dict:
+        return _request(
+            self.base_url, "POST", "/register",
+            {"worker": self.worker}, timeout=timeout,
+        )
+
+    def claim(self, *, long_poll: float, timeout: float | None = None) -> dict | None:
+        reply = _request(
+            self.base_url,
+            "POST",
+            "/claim",
+            {"worker": self.worker, "timeout": long_poll},
+            timeout=timeout if timeout is not None else long_poll + 10.0,
+        )
+        return reply.get("job")
+
+    def heartbeat(
+        self, scenario_hash: str, scheme: str, seed: int, rounds_done: int
+    ) -> bool:
+        reply = _request(
+            self.base_url,
+            "POST",
+            "/heartbeat",
+            {
+                "worker": self.worker,
+                "scenario_hash": scenario_hash,
+                "scheme": scheme,
+                "seed": seed,
+                "round": rounds_done,
+            },
+            timeout=5.0,
+        )
+        return bool(reply.get("alive"))
+
+    def release(self, scenario_hash: str, scheme: str, seed: int) -> None:
+        _request(
+            self.base_url,
+            "POST",
+            "/release",
+            {
+                "worker": self.worker,
+                "scenario_hash": scenario_hash,
+                "scheme": scheme,
+                "seed": seed,
+            },
+            timeout=5.0,
+        )
+
+    def complete(self, scenario_hash: str, scheme: str, seed: int) -> dict:
+        return _request(
+            self.base_url,
+            "POST",
+            "/complete",
+            {
+                "worker": self.worker,
+                "scenario_hash": scenario_hash,
+                "scheme": scheme,
+                "seed": seed,
+            },
+            timeout=5.0,
+        )
+
+    def health(self, *, timeout: float = 5.0) -> dict:
+        return _request(self.base_url, "GET", "/health", timeout=timeout)
+
+
+class ServiceLink:
+    """The worker loop's coordinator attachment, with filesystem fallback.
+
+    Owned by :func:`repro.api.distributed.run_worker`.  While attached,
+    cells are claimed over long-poll and per-round events stream through
+    ``/heartbeat``; the filesystem mirror lock is *also* renewed every
+    round (it is held under this worker's label), so when the coordinator
+    dies mid-cell the worker keeps the exact lease semantics of the
+    polling protocol without missing a beat.  Detach happens on any
+    transport error; :meth:`maybe_reattach` retries registration at most
+    once per ``poll_interval``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        worker: str,
+        *,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ):
+        self.client = WorkerClient(base_url, worker)
+        self.worker = str(worker)
+        self.poll_interval = float(poll_interval)
+        self.attached = False
+        self.queue: JobQueue | None = None
+        self._owned: set[tuple[str, str, int]] = set()
+        self._last_attach_attempt = float("-inf")
+        # Long-poll hold: long enough to amortise connections, short
+        # enough that SIGTERM (which interrupts between requests) stays
+        # responsive.
+        self.claim_hold = max(0.2, min(5.0, self.poll_interval * 4.0))
+
+    # -- attachment -----------------------------------------------------
+    def attach(self, *, required: bool = False) -> str | None:
+        """Register with the coordinator; returns its store root (a path).
+
+        With ``required`` a dead coordinator raises
+        :class:`CoordinatorError`; otherwise the link just stays detached
+        (the caller falls back to filesystem polling).
+        """
+        self._last_attach_attempt = time.monotonic()
+        try:
+            reply = self.client.register()
+        except _UNREACHABLE as exc:
+            self.attached = False
+            if required:
+                raise CoordinatorError(
+                    f"coordinator {self.client.base_url} is unreachable: {exc}"
+                ) from exc
+            return None
+        self.attached = True
+        return str(reply.get("store")) if reply.get("store") else None
+
+    def bind(self, queue: JobQueue) -> None:
+        """Give the link its filesystem fallback target."""
+        self.queue = queue
+
+    def maybe_reattach(self) -> None:
+        """Rate-limited re-registration while detached."""
+        if self.attached:
+            return
+        if time.monotonic() - self._last_attach_attempt < self.poll_interval:
+            return
+        self.attach(required=False)
+
+    # -- the worker-loop protocol ---------------------------------------
+    def owns(self, job: Job) -> bool:
+        return (job.scenario_hash, job.scheme, job.seed) in self._owned
+
+    def claim(self) -> Job | None:
+        """Long-poll the coordinator for a pushed cell.
+
+        ``None`` with ``attached`` still true means an idle hold expired;
+        ``None`` with ``attached`` false means the coordinator vanished
+        (the worker loop then falls back to filesystem claims).
+        """
+        assert self.queue is not None, "bind() the link before claiming"
+        try:
+            descriptor = self.client.claim(long_poll=self.claim_hold)
+        except _UNREACHABLE:
+            self.attached = False
+            return None
+        if descriptor is None:
+            return None
+        h = str(descriptor["scenario_hash"])
+        scheme, seed = str(descriptor["scheme"]), int(descriptor["seed"])
+        path = self.queue.job_path(h, scheme, seed)
+        try:
+            scenario = self.queue.store.load_scenario(h).to_dict()
+        except Exception:
+            # The mirror vanished under us (foreign store, manual rm):
+            # give the cell back rather than dying with a claim held.
+            self.release_key(h, scheme, seed)
+            return None
+        job = Job(
+            path=path,
+            lock_path=JobQueue.lock_path_for(path),
+            scenario=scenario,
+            scenario_hash=h,
+            scheme=scheme,
+            seed=seed,
+            resume=bool(descriptor.get("resume", False)),
+            checkpoint_every=descriptor.get("checkpoint_every"),
+            lease_seconds=float(
+                descriptor.get("lease_seconds", DEFAULT_LEASE_SECONDS)
+            ),
+            worker=self.worker,
+        )
+        self._owned.add((h, scheme, seed))
+        return job
+
+    def heartbeat(self, job: Job, rounds_done: int) -> bool:
+        """Renew both leases; stream one round-completion event.
+
+        The filesystem lock is authoritative for execution (exactly the
+        polling protocol's semantics): if it was stolen the cell is
+        abandoned no matter what the coordinator thinks.  Coordinator
+        unreachability merely detaches the link — the fs lease keeps the
+        cell owned.
+        """
+        assert self.queue is not None
+        alive = self.queue.heartbeat(job)
+        try:
+            self.client.heartbeat(
+                job.scenario_hash, job.scheme, job.seed, rounds_done
+            )
+        except _UNREACHABLE:
+            self.attached = False
+        return alive
+
+    def complete(self, job: Job) -> None:
+        self._owned.discard((job.scenario_hash, job.scheme, job.seed))
+        assert self.queue is not None
+        try:
+            self.client.complete(job.scenario_hash, job.scheme, job.seed)
+            return
+        except _UNREACHABLE:
+            self.attached = False
+        self.queue.complete(job)
+
+    def release(self, job: Job) -> None:
+        self._owned.discard((job.scenario_hash, job.scheme, job.seed))
+        assert self.queue is not None
+        try:
+            self.client.release(job.scenario_hash, job.scheme, job.seed)
+            return
+        except _UNREACHABLE:
+            self.attached = False
+        self.queue.release(job)
+
+    def release_key(self, scenario_hash: str, scheme: str, seed: int) -> None:
+        self._owned.discard((scenario_hash, scheme, seed))
+        try:
+            self.client.release(scenario_hash, scheme, seed)
+        except _UNREACHABLE:
+            self.attached = False
+
+    def close(self) -> None:
+        self.attached = False
+        self._owned.clear()
+
+
+# ----------------------------------------------------------------------
+# The "service" executor
+# ----------------------------------------------------------------------
+@EXECUTORS.register("service")
+class ServiceExecutor(Executor):
+    """Drive a sweep through the event-driven coordinator service.
+
+    With ``coordinator_url`` the sweep is submitted to a running
+    coordinator (whose warm worker fleet executes it); with
+    ``coordinator_url=None`` an embedded coordinator thread is started on
+    an ephemeral port and ``max_workers`` local worker processes are
+    spawned against it — and both are kept *warm* on this executor
+    instance, so back-to-back ``execute_plan`` calls reuse the fleet
+    without process restarts.  ``max_workers=0`` spawns nothing
+    (external workers do the running).
+
+    Every queued cell is mirrored to the store's ``jobs/`` directory, so
+    when the coordinator dies mid-sweep this executor falls back to
+    waiting on the filesystem protocol (and service workers fall back to
+    filesystem claims) — the sweep still completes, byte-identically.
+
+    Scenario spec::
+
+        {"executor": "service", "max_workers": 2,
+         "coordinator_url": "http://127.0.0.1:7464",   # null = embedded
+         "lease_seconds": 300.0, "poll_interval": 1.0}
+    """
+
+    in_process = False
+    needs_store = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        coordinator_url: str | None = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ):
+        if max_workers is not None and int(max_workers) == 0:
+            self.max_workers = 0  # coordinate-only: external fleet runs cells
+        else:
+            super().__init__(max_workers)
+        lease_seconds = float(lease_seconds)
+        poll_interval = float(poll_interval)
+        if lease_seconds < 0.0:
+            raise ValueError("lease_seconds must be >= 0")
+        if poll_interval <= 0.0:
+            raise ValueError("poll_interval must be > 0")
+        self.coordinator_url = (
+            str(coordinator_url).rstrip("/") if coordinator_url else None
+        )
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self._embedded: CoordinatorHandle | None = None
+        self._workers: list[subprocess.Popen] = []
+        self._store_root: Path | None = None
+
+    def map(self, fn, items):
+        raise RuntimeError(
+            "the service executor does not map functions over cells; run "
+            "it through FMoreEngine.run(scenario, store=...) so the "
+            "coordinator can schedule whole plans via execute_plan"
+        )
+
+    # -- warm-pool lifecycle --------------------------------------------
+    def close(self) -> None:
+        """Tear down the warm pool: workers first, then the coordinator."""
+        workers, self._workers = self._workers, []
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety
+                proc.kill()
+        if self._embedded is not None:
+            self._embedded.stop()
+            self._embedded = None
+        self._store_root = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _service_url(self, store: "ExperimentStore") -> str:
+        """The coordinator to talk to, starting the embedded one if needed."""
+        if self.coordinator_url is not None:
+            return self.coordinator_url
+        if self._embedded is not None and (
+            not self._embedded.alive() or self._store_root != store.root
+        ):
+            self.close()
+        if self._embedded is None:
+            self._embedded = start_coordinator(
+                store, poll_interval=self.poll_interval
+            )
+            self._store_root = store.root
+        return self._embedded.url
+
+    def _ensure_workers(self, url: str, store: "ExperimentStore", n_cells: int) -> int:
+        """Top the warm worker pool up to the configured size."""
+        if self.max_workers == 0:
+            return 0
+        target = self.worker_count(n_cells)
+        self._workers = [p for p in self._workers if p.poll() is None]
+        while len(self._workers) < target:
+            self._workers.append(
+                _spawn_service_worker(url, store, self.poll_interval)
+            )
+        return target
+
+    # -- the sweep ------------------------------------------------------
+    def execute_plan(
+        self,
+        scenario: "Scenario",
+        cells: Sequence[tuple[str, int]],
+        store: "ExperimentStore",
+        *,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        force: bool = False,
+    ):
+        """Submit ``cells`` to the coordinator, long-poll until they land.
+
+        Returns histories aligned with ``cells`` (the engine's positional
+        contract).  Coordinator failure at any point degrades to the
+        filesystem protocol — queue the mirror directly if the submission
+        itself failed, then wait on manifests with stale-lease reclaim,
+        exactly like the ``distributed`` executor's coordinate-only mode.
+        """
+        from .store import ExperimentStore
+
+        store = ExperimentStore.coerce(store)
+        h = store.register_scenario(scenario)
+        url = self._service_url(store)
+        payload = {
+            "scenario": scenario.to_dict(),
+            "cells": [[s, int(d)] for s, d in cells],
+            "resume": bool(resume),
+            "checkpoint_every": checkpoint_every,
+            "lease_seconds": self.lease_seconds,
+            "force": bool(force),
+        }
+        try:
+            _request(url, "POST", "/sweep", payload, timeout=30.0)
+        except _UNREACHABLE:
+            return self._fallback(
+                scenario, cells, store, h,
+                resume=resume, checkpoint_every=checkpoint_every, force=force,
+            )
+        n_local = self._ensure_workers(url, store, len(cells))
+        failures = 0
+        max_failures = max(3, 2 * n_local)
+        last_outstanding: int | None = None
+        hold = max(0.2, min(5.0, self.poll_interval * 4.0))
+        while True:
+            if n_local:
+                alive = []
+                for proc in self._workers:
+                    code = proc.poll()
+                    if code is None:
+                        alive.append(proc)
+                    elif code != 0:
+                        failures += 1
+                        if failures > max_failures:
+                            raise RuntimeError(
+                                f"service workers keep failing (last exit "
+                                f"code {code}, {failures} failures); see "
+                                "the worker stderr above"
+                            )
+                self._workers = alive
+                if len(self._workers) < n_local:
+                    self._workers.append(
+                        _spawn_service_worker(url, store, self.poll_interval)
+                    )
+            try:
+                status = _request(
+                    url,
+                    "GET",
+                    f"/status?hash={h}&timeout={hold}",
+                    timeout=hold + 10.0,
+                )
+            except _UNREACHABLE:
+                return self._fallback_wait(store, h, cells)
+            if status.get("done"):
+                break
+            outstanding = int(status.get("outstanding", 0))
+            if last_outstanding is not None and outstanding < last_outstanding:
+                failures = 0  # progress absorbs worker churn
+            last_outstanding = outstanding
+        return [store.load_history(h, s, d) for s, d in cells]
+
+    # -- degraded modes -------------------------------------------------
+    def _fallback(
+        self,
+        scenario: "Scenario",
+        cells: Sequence[tuple[str, int]],
+        store: "ExperimentStore",
+        h: str,
+        *,
+        resume: bool,
+        checkpoint_every: int | None,
+        force: bool,
+    ):
+        """Coordinator gone before submission: mirror the jobs ourselves."""
+        queue = JobQueue(store)
+        if force:
+            for scheme, seed in cells:
+                try:
+                    store.manifest_path(h, scheme, seed).unlink()
+                except FileNotFoundError:
+                    pass
+        queue.enqueue(
+            scenario,
+            cells,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            lease_seconds=self.lease_seconds,
+        )
+        return self._fallback_wait(store, h, cells)
+
+    def _fallback_wait(
+        self,
+        store: "ExperimentStore",
+        h: str,
+        cells: Sequence[tuple[str, int]],
+    ):
+        """Wait on the filesystem protocol: manifests + stale-lease reclaim.
+
+        The jobs are mirrored, so any worker — our own spawned fleet
+        (which falls back to filesystem claims by itself), or external
+        ones — can drain the queue; this loop just watches manifests the
+        way the ``distributed`` coordinate-only mode does.
+        """
+        queue = JobQueue(store)
+        hinted = False
+        idle = 0
+        while store.missing_cells(h, cells):
+            queue.reclaim_stale()
+            self._workers = [p for p in self._workers if p.poll() is None]
+            idle += 1
+            if (
+                not hinted
+                and not self._workers
+                and idle * self.poll_interval > 30.0
+            ):
+                hinted = True
+                print(
+                    f"[service] coordinator unreachable; waiting on "
+                    f"filesystem workers for {store.root} — start some "
+                    f"with: python -m repro worker --store {store.root}",
+                    file=sys.stderr,
+                )
+            time.sleep(self.poll_interval)
+        return [store.load_history(h, s, d) for s, d in cells]
+
+
+def _spawn_service_worker(
+    url: str, store: "ExperimentStore", poll_interval: float
+) -> subprocess.Popen:
+    """One warm worker subprocess attached to the coordinator at ``url``.
+
+    The store is passed explicitly (not just learned from ``/register``)
+    so the worker can fall back to filesystem claims the moment the
+    coordinator dies; ``src`` is prepended to ``PYTHONPATH`` so spawning
+    works from a source checkout.
+    """
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--coordinator",
+        url,
+        "--store",
+        str(store.root.resolve()),
+        "--poll-interval",
+        str(poll_interval),
+    ]
+    return subprocess.Popen(cmd, env=env)

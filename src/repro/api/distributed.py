@@ -62,10 +62,12 @@ from __future__ import annotations
 import json
 import os
 import random
+import signal
 import socket
 import stat
 import subprocess
 import sys
+import threading
 import time
 import uuid
 from dataclasses import dataclass
@@ -85,6 +87,7 @@ __all__ = [
     "Job",
     "run_worker",
     "emit_job_scripts",
+    "idle_backoff",
     "DEFAULT_LEASE_SECONDS",
     "DEFAULT_POLL_INTERVAL",
 ]
@@ -115,6 +118,79 @@ def _worker_label(worker_id: str | None = None) -> str:
     if worker_id:
         return str(worker_id)
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+#: First idle-poll delay of the exponential backoff, as a fraction of the
+#: configured ``poll_interval`` (the cap).  Eight consecutive empty scans
+#: walk the delay from ``poll_interval / 128`` up to the full interval.
+_BACKOFF_START_FRACTION = 1.0 / 128.0
+
+
+def idle_backoff(
+    idle_passes: int, poll_interval: float, rng: random.Random
+) -> float:
+    """Jittered exponential idle delay, capped at ``poll_interval``.
+
+    A fleet of workers that all find the queue empty on the same scan
+    must not re-scan in lockstep forever — a fixed-interval sleep
+    synchronizes the herd, so every poll hammers the shared filesystem
+    at once.  Instead the delay doubles per consecutive empty pass
+    (``idle_passes`` >= 1), capped at ``poll_interval``, and each worker
+    draws a uniform jitter in ``[0.5, 1.0)`` of the nominal delay from
+    its own RNG — fresh work is picked up quickly, and steady-state
+    idlers spread across the interval.
+    """
+    if idle_passes < 1:
+        raise ValueError("idle_passes counts from 1")
+    if poll_interval <= 0.0:
+        raise ValueError("poll_interval must be > 0")
+    nominal = min(
+        poll_interval,
+        poll_interval * _BACKOFF_START_FRACTION * (2.0 ** (idle_passes - 1)),
+    )
+    return nominal * (0.5 + 0.5 * rng.random())
+
+
+class _StopFlag:
+    """The worker's shutdown latch: a threading.Event plus signal wiring.
+
+    ``install()`` registers SIGTERM/SIGINT handlers that merely set the
+    event (safe to call from a signal context); the worker loop checks it
+    between claims and between rounds, so a killed fleet releases (or
+    checkpoints) its claims instead of stranding leases until expiry.
+    Handlers are only installed in the main thread (Python forbids
+    ``signal.signal`` elsewhere) and always restored on ``uninstall()``.
+    """
+
+    def __init__(self, event: threading.Event | None = None):
+        self.event = event if event is not None else threading.Event()
+        self._previous: dict[int, Any] = {}
+
+    def install(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+    def _handle(self, signum, frame) -> None:
+        self.event.set()
+
+    def uninstall(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        self._previous.clear()
+
+    def is_set(self) -> bool:
+        return self.event.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        return self.event.wait(timeout)
 
 
 # ----------------------------------------------------------------------
@@ -499,77 +575,191 @@ class JobQueue:
 # The worker loop
 # ----------------------------------------------------------------------
 def run_worker(
-    store: "ExperimentStore | str | Path",
+    store: "ExperimentStore | str | Path | None" = None,
     *,
+    coordinator: str | None = None,
     poll_interval: float = DEFAULT_POLL_INTERVAL,
     max_cells: int | None = None,
     exit_when_idle: bool = False,
     worker_id: str | None = None,
     crash_after_claim: bool = False,
+    stop_event: threading.Event | None = None,
+    stop_after_rounds: int | None = None,
 ) -> int:
-    """Claim and run queued cells against ``store``; returns cells completed.
+    """Claim and run queued cells; returns the number of cells completed.
 
-    The library form of ``python -m repro worker --store DIR``.  The loop:
-    claim a cell (stealing lease-expired ones), rebuild its scenario from
-    the job spec, run it through the ordinary engine session path with a
-    heartbeat per round, write its content-addressed manifest, retire the
-    job — repeat.  One engine (and thus one equilibrium-solver cache) is
-    shared across all cells this worker runs.
+    The library form of ``python -m repro worker``.  Two claim paths
+    share one loop:
+
+    * **filesystem** (``store=DIR``, the default): scan the store's job
+      directory and claim cells with lock files, stealing lease-expired
+      ones — any process on the shared filesystem participates.  Idle
+      scans back off exponentially with per-worker jitter (capped at
+      ``poll_interval``) so a fleet that drains the queue does not
+      re-scan in lockstep.
+    * **service** (``coordinator=URL``): register with the event-driven
+      coordinator (:mod:`repro.api.coordinator`) and long-poll it for
+      pushed work — no directory scans, and the worker stays warm between
+      sweeps.  When the coordinator becomes unreachable the worker *falls
+      back* to filesystem claims against the same store (the coordinator
+      mirrors every job there) and periodically tries to re-attach.
+
+    Either way each cell runs through the ordinary engine session path
+    with a heartbeat per round, lands its content-addressed manifest, and
+    retires its job.  One engine (one equilibrium-solver cache) is shared
+    across all cells this worker runs.
+
+    The worker shuts down gracefully: SIGTERM/SIGINT set a stop flag
+    checked between claims and between rounds — a stopping worker
+    checkpoints its in-flight cell (when the job asked for
+    ``checkpoint_every``) and releases its claim, so killed fleets never
+    strand leases until expiry.
 
     Parameters
     ----------
+    store:
+        The shared experiment store.  Optional in service mode (the
+        coordinator advertises its store), mandatory otherwise.
+    coordinator:
+        Coordinator base URL (``http://host:port``) for service mode.
     poll_interval:
-        Idle sleep between queue scans when no cell is claimable.
+        Cap on the idle backoff between filesystem queue scans, and the
+        re-attach probe interval while falling back.
     max_cells:
         Stop after completing this many cells (``None`` = unbounded) —
         the batch-cluster-friendly lifetime bound.
     exit_when_idle:
-        Return instead of sleeping when the queue has nothing claimable
-        (used by coordinator-spawned workers and one-shot scripts).
+        Return instead of waiting when nothing is claimable (used by
+        coordinator-spawned workers and one-shot scripts).
     worker_id:
-        Stable label for the lock files; defaults to host-pid-nonce.
+        Stable label for locks and registration; default host-pid-nonce.
     crash_after_claim:
         Testing/chaos hook: claim one cell, then return *without running
         or releasing it* — exactly what a worker killed mid-cell leaves
         behind (a claimed job whose lock will outlive its lease).
+    stop_event:
+        External stop flag (tests, embedding callers); SIGTERM/SIGINT
+        set the same event when running in a main thread.
+    stop_after_rounds:
+        Testing/chaos hook: trip the stop flag after this many rounds of
+        the first claimed cell — deterministically exercises the
+        graceful mid-cell shutdown path (checkpoint + release).
     """
     from .engine import FMoreEngine
     from .store import ExperimentStore
 
-    store = ExperimentStore.coerce(store)
-    queue = JobQueue(store)
     label = _worker_label(worker_id)
-    engine = FMoreEngine()
-    completed = 0
-    while max_cells is None or completed < max_cells:
-        job = queue.claim(label)
-        if job is None:
-            if exit_when_idle:
-                break
-            time.sleep(poll_interval)
-            continue
-        if crash_after_claim:
-            return completed
-        if _run_job(engine, store, queue, job):
-            completed += 1
-    return completed
+    stop = _StopFlag(stop_event)
+    stop.install()
+    link = None
+    try:
+        if coordinator is not None:
+            from .coordinator import ServiceLink
+
+            link = ServiceLink(
+                coordinator, label, poll_interval=poll_interval
+            )
+            if store is None:
+                store = link.attach(required=True)
+            else:
+                link.attach(required=False)
+        if store is None:
+            raise ValueError(
+                "run_worker needs a store (or a reachable coordinator "
+                "that advertises one); pass store=DIR / --store DIR"
+            )
+        store = ExperimentStore.coerce(store)
+        queue = JobQueue(store)
+        if link is not None:
+            link.bind(queue)
+        engine = FMoreEngine()
+        backoff_rng = random.Random(f"idle:{label}")
+        completed = 0
+        idle_passes = 0
+        while not stop.is_set() and (max_cells is None or completed < max_cells):
+            job, waited = _claim_next(queue, link, label, stop)
+            if job is None:
+                if exit_when_idle:
+                    break
+                if not waited:
+                    idle_passes += 1
+                    stop.wait(idle_backoff(idle_passes, poll_interval, backoff_rng))
+                continue
+            idle_passes = 0
+            if crash_after_claim:
+                return completed
+            if _run_job(
+                engine,
+                store,
+                queue,
+                job,
+                link=link,
+                stop=stop,
+                stop_after_rounds=stop_after_rounds,
+            ):
+                completed += 1
+        return completed
+    finally:
+        if link is not None:
+            link.close()
+        stop.uninstall()
 
 
-def _run_job(engine, store: "ExperimentStore", queue: JobQueue, job: Job) -> bool:
+def _claim_next(
+    queue: JobQueue, link, label: str, stop: _StopFlag
+) -> tuple[Job | None, bool]:
+    """One claim attempt via the coordinator link or the filesystem.
+
+    Returns ``(job, waited)`` — ``waited`` is ``True`` when the attempt
+    already blocked (a service long-poll), so the caller must not add its
+    own idle backoff on top.
+    """
+    if link is not None and not link.attached and not stop.is_set():
+        link.maybe_reattach()
+    if link is not None and link.attached:
+        job = link.claim()
+        if job is not None or link.attached:
+            return job, True
+        # The coordinator vanished mid-claim: fall through to the
+        # filesystem path this very pass (jobs are mirrored there).
+    return queue.claim(label), False
+
+
+def _run_job(
+    engine,
+    store: "ExperimentStore",
+    queue: JobQueue,
+    job: Job,
+    *,
+    link=None,
+    stop: _StopFlag | None = None,
+    stop_after_rounds: int | None = None,
+) -> bool:
     """Run one claimed cell to completion; ``True`` when its manifest landed.
 
     With ``job.resume`` the cell continues from its store checkpoint (a
     previous worker's partial progress) — bitwise-identical to a fresh
     run by the checkpoint contract; otherwise stolen cells restart from
     round zero, which is merely slower, never different.  A lost lease
-    aborts the cell mid-run (another worker owns it now); any other
-    failure releases the claim so the cell is immediately re-queued.
+    aborts the cell mid-run (another worker owns it now); a graceful stop
+    (SIGTERM/SIGINT) checkpoints the cell when the job asked for
+    ``checkpoint_every``, then releases the claim; any other failure
+    releases the claim so the cell is immediately re-queued.
+
+    ``link`` (a :class:`repro.api.coordinator.ServiceLink`) routes
+    heartbeats and completion through the coordinator — streaming one
+    round-completion event per round — and transparently falls back to
+    the filesystem lock protocol when the coordinator is unreachable.
     """
     from .scenario import Scenario
 
     scenario = Scenario.from_dict(job.scenario)
+    linked = link is not None and link.owns(job)
+    heartbeat = link.heartbeat if linked else None
+    complete = link.complete if linked else queue.complete
+    release = link.release if linked else queue.release
     if store.has_cell(job.scenario_hash, job.scheme, job.seed):
-        queue.complete(job)
+        complete(job)
         return False
     session = engine.session(scenario, job.scheme, job.seed)
     if job.resume:
@@ -581,7 +771,21 @@ def _run_job(engine, store: "ExperimentStore", queue: JobQueue, job: Job) -> boo
         while session.rounds_remaining > 0:
             next(session)
             advanced += 1
-            if not queue.heartbeat(job):
+            if stop_after_rounds is not None and advanced >= stop_after_rounds:
+                if stop is not None:
+                    stop.event.set()
+            alive = (
+                heartbeat(job, advanced) if heartbeat is not None
+                else queue.heartbeat(job)
+            )
+            if not alive:
+                return False  # stolen: the thief owns the cell now
+            if stop is not None and stop.is_set() and session.rounds_remaining > 0:
+                # Graceful shutdown mid-cell: persist the progress when
+                # the job checkpoints, then hand the claim straight back.
+                if job.checkpoint_every:
+                    store.save_checkpoint(session.snapshot())
+                release(job)
                 return False
             if (
                 job.checkpoint_every
@@ -590,11 +794,11 @@ def _run_job(engine, store: "ExperimentStore", queue: JobQueue, job: Job) -> boo
             ):
                 store.save_checkpoint(session.snapshot())
     except BaseException:
-        queue.release(job)
+        release(job)
         raise
     store.save_history(scenario, job.scheme, job.seed, session.history)
     store.clear_checkpoint(job.scenario_hash, job.scheme, job.seed)
-    queue.complete(job)
+    complete(job)
     return True
 
 
@@ -702,10 +906,10 @@ class DistributedExecutor(Executor):
         max_failures = max(3, 2 * n_local)
         hinted = False
         idle_polls = 0
-        done_before = sum(1 for s, d in cells if store.has_cell(h, s, d))
+        done_before = len(cells) - len(store.missing_cells(h, cells))
         try:
             while True:
-                done = sum(1 for s, d in cells if store.has_cell(h, s, d))
+                done = len(cells) - len(store.missing_cells(h, cells))
                 if done == len(cells):
                     break
                 if done > done_before:

@@ -1041,7 +1041,14 @@ class FMoreEngine:
           the store's filesystem — claim them with lease-guarded lock
           files, and this call polls until every manifest lands (see
           :mod:`repro.api.distributed`; a ``store`` is then mandatory
-          and ``stop_after`` is unsupported).
+          and ``stop_after`` is unsupported);
+        * the ``service`` executor submits the plan to the event-driven
+          coordinator service (:mod:`repro.api.coordinator`) — a running
+          one named by the spec's ``coordinator_url``, or an embedded
+          coordinator thread on an ephemeral port — which *pushes* cells
+          to warm workers over long-poll while mirroring every job to
+          the same ``<store>/jobs/`` bus (the ``distributed`` executor's
+          store rules apply, and the two fleets interoperate).
 
         With a ``store`` (an :class:`~repro.api.store.ExperimentStore` or
         its root path) the run becomes durable and incremental: cells

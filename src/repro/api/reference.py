@@ -34,6 +34,7 @@ from ..core.registry import (
     Registry,
 )
 from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
+from . import coordinator as _coordinator  # noqa: F401 - registers "service"
 from . import distributed as _distributed  # noqa: F401 - registers "distributed"
 from . import executor as _executor  # noqa: F401 - registers the pool executors
 
@@ -109,9 +110,11 @@ FAMILIES: tuple[tuple[Registry, str, str], ...] = (
         EXECUTORS,
         "Executors",
         "Scenario field `execution` — `{\"executor\": \"<name>\", "
-        "\"max_workers\": N}`; the `distributed` executor additionally "
-        "takes `lease_seconds` / `poll_interval` and allows "
-        "`max_workers=0` (coordinate-only). See docs/deployment.md. "
+        "\"max_workers\": N}`; the store-coordinated executors "
+        "(`distributed`, `service`) additionally take `lease_seconds` / "
+        "`poll_interval` and allow `max_workers=0` (coordinate-only), "
+        "and `service` takes `coordinator_url` (null = an embedded "
+        "coordinator). See docs/deployment.md. "
         "The in-process pools (`serial`/`thread`/`process`) also fan out "
         "the per-cluster auctions of `variant=\"hierarchical\"` runs via "
         "`clusters.executor`; see the hierarchical auctions section of "

@@ -39,6 +39,7 @@ from ..core.registry import (
     THETA_DISTRIBUTIONS,
 )
 from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
+from . import coordinator as _coordinator  # noqa: F401 - registers "service"
 from . import distributed as _distributed  # noqa: F401 - registers "distributed"
 from .executor import EXECUTORS  # noqa: F401 - import registers the executors
 
@@ -53,14 +54,25 @@ VARIANT_NAMES = ("simulation", "cluster", "hierarchical")
 
 _WIN_MODELS = ("paper", "exact")
 
-_EXECUTION_KEYS = ("executor", "max_workers", "lease_seconds", "poll_interval")
+_EXECUTION_KEYS = (
+    "executor",
+    "max_workers",
+    "lease_seconds",
+    "poll_interval",
+    "coordinator_url",
+)
 
-# Defaults filled into a "distributed" execution spec at canonicalisation
-# (kept in repro.api.distributed so the executor and the spec agree).
+# Defaults filled into a "distributed" / "service" execution spec at
+# canonicalisation (kept in repro.api.distributed so the executors and
+# the spec agree).
 _DISTRIBUTED_DEFAULTS = {
     "lease_seconds": _distributed.DEFAULT_LEASE_SECONDS,
     "poll_interval": _distributed.DEFAULT_POLL_INTERVAL,
 }
+
+# Executors coordinating whole plans through a shared store; they accept
+# the lease/poll knobs and max_workers=0 (coordinate-only).
+_STORE_EXECUTORS = ("distributed", "service")
 
 # Fields deserialised back into tuples (JSON only has lists).
 _TUPLE_FIELDS = ("size_range", "schemes", "seeds", "core_choices", "bandwidth_range_mbps")
@@ -280,18 +292,21 @@ class Scenario:
         max_workers = execution.get("max_workers")
         if max_workers is not None:
             max_workers = int(max_workers)
-            if max_workers < 1 and not (max_workers == 0 and executor == "distributed"):
+            if max_workers < 1 and not (
+                max_workers == 0 and executor in _STORE_EXECUTORS
+            ):
                 raise ValueError(
                     "execution max_workers must be >= 1 (0 is allowed only "
-                    "for the 'distributed' executor, meaning coordinate-only: "
-                    "external workers do the running)"
+                    "for the 'distributed'/'service' executors, meaning "
+                    "coordinate-only: external workers do the running)"
                 )
         canonical_execution = {"executor": executor, "max_workers": max_workers}
         lease = execution.get("lease_seconds")
         poll = execution.get("poll_interval")
-        if executor == "distributed":
-            # Distributed coordination knobs, defaulted at canonicalisation
-            # so the spec round-trips explicitly through JSON.
+        coordinator_url = execution.get("coordinator_url")
+        if executor in _STORE_EXECUTORS:
+            # Store-coordination knobs, defaulted at canonicalisation so
+            # the spec round-trips explicitly through JSON.
             lease = _DISTRIBUTED_DEFAULTS["lease_seconds"] if lease is None else float(lease)
             poll = _DISTRIBUTED_DEFAULTS["poll_interval"] if poll is None else float(poll)
             if lease < 0.0:
@@ -303,7 +318,22 @@ class Scenario:
         elif lease is not None or poll is not None:
             raise ValueError(
                 "execution keys lease_seconds/poll_interval only apply to "
-                "the 'distributed' executor"
+                "the 'distributed'/'service' executors"
+            )
+        if executor == "service":
+            # The event-driven coordinator's address; None means an
+            # embedded coordinator on an ephemeral port for this run.
+            if coordinator_url is not None:
+                coordinator_url = str(coordinator_url)
+                if not coordinator_url.startswith(("http://", "https://")):
+                    raise ValueError(
+                        "execution coordinator_url must be an http(s):// URL"
+                    )
+            canonical_execution["coordinator_url"] = coordinator_url
+        elif coordinator_url is not None:
+            raise ValueError(
+                "execution key coordinator_url only applies to the "
+                "'service' executor"
             )
         object.__setattr__(self, "execution", canonical_execution)
         if self.n_clients < 2:

@@ -47,7 +47,7 @@ import re
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -359,6 +359,19 @@ class ExperimentStore:
     # ------------------------------------------------------------------
     def has_cell(self, scenario: Scenario | str, scheme: str, seed: int) -> bool:
         return self.manifest_path(scenario, scheme, seed).exists()
+
+    def missing_cells(
+        self,
+        scenario: Scenario | str,
+        cells: Sequence[tuple[str, int]],
+    ) -> list[tuple[str, int]]:
+        """The subset of ``cells`` whose manifests have not landed yet.
+
+        One hash derivation however many cells — the shape every
+        coordinator poll loop needs (``[]`` means the sweep is done).
+        """
+        h = self._hash_of(scenario)
+        return [(s, d) for s, d in cells if not self.has_cell(h, s, int(d))]
 
     def save_history(
         self,
