@@ -14,7 +14,9 @@ each artifact:
 * ``bid_batch.batch_seconds`` — whole-population bid pricing,
 * ``round.seconds`` — one full auction round through the mechanism,
 * ``hier_round.<n>.seconds`` — one full two-tier hierarchical round per
-  population size (``bench_hierarchical.py``).
+  population size (``bench_hierarchical.py``),
+* ``learn.<name>.seconds`` — a fixed-episode learned-bidder training run
+  per ``BID_LEARNERS`` entry (``bench_learner.py``).
 
 Artifacts with a ``coordinator`` section (``bench_coordinator.py``) get
 the ``coord:*`` gates: the warm service sweep must stay under 2x warm
@@ -63,8 +65,9 @@ def _gated_timings(data: dict) -> dict[str, float]:
     Labels are stable across commits so old and new artifacts align:
     ``grid:<family>`` per closed-form family, plus ``bid_batch`` and
     ``round``, plus ``hier:<n>`` per population size of the hierarchical
-    bench (absent in pre-extension artifacts — tolerated, each gate
-    starts its own trajectory).
+    bench and ``learn:<name>`` per trained ``BID_LEARNERS`` entry
+    (absent in pre-extension artifacts — tolerated, each gate starts its
+    own trajectory).
     """
     out: dict[str, float] = {}
     for family, row in sorted(data.get("grid_build", {}).items()):
@@ -77,6 +80,8 @@ def _gated_timings(data: dict) -> dict[str, float]:
         data.get("hier_round", {}).items(), key=lambda kv: int(kv[0])
     ):
         out[f"hier:{n}"] = float(row["seconds"])
+    for name, row in sorted(data.get("learn", {}).items()):
+        out[f"learn:{name}"] = float(row["seconds"])
     return out
 
 

@@ -1,0 +1,144 @@
+"""Learned-bidder training throughput: episodes and steps per second.
+
+Each registered ``BID_LEARNERS`` entry (``q_table``, ``pg_mlp``) is
+trained from scratch over the reference smoke cell and timed end to end
+(env resets, acting, the learning updates — everything
+``python -m repro train-bidder`` pays per episode).  The engine is
+shared across repeats, so the timed number is the *warm* per-episode
+cost, excluding the one-time solver-table build; best-of-``REPEATS``
+is reported, the usual defence against runner noise.
+
+The ``learn:*`` rows feed ``bench_compare.py``'s regression gate
+(±20 % on seconds).  The bench also re-asserts the subsystem's core
+promise while it is here: two identically-seeded training runs produce
+bitwise-equal learner weights.
+
+Run standalone (writes ``BENCH_learner.json`` for the CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_learner.py --quick
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_learner.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_learner.json"
+
+#: Timing repeats per learner (best-of is reported).
+REPEATS = 2
+
+LEARNERS = ("q_table", "pg_mlp")
+
+
+def _scenario(quick: bool):
+    from repro.api import Scenario
+
+    return Scenario.from_preset(
+        "smoke",
+        "mnist_o",
+        schemes=("FMore",),
+        seeds=(0,),
+        n_clients=10,
+        k_winners=3,
+        n_rounds=2 if quick else 3,
+        test_per_class=8,
+        size_range=(60, 240),
+        grid_size=17,
+        model_width=0.12,
+        batch_size=16,
+    )
+
+
+def time_learners(quick: bool = True) -> dict:
+    """Best-of-``REPEATS`` training wall-clock per ``BID_LEARNERS`` entry."""
+    from repro.api import FMoreEngine
+    from repro.strategic.learn import BidLearnerTrainer
+
+    scenario = _scenario(quick)
+    episodes = 6 if quick else 30
+    engine = FMoreEngine()
+    # Warm the solver cache once so every timed repeat is comparable.
+    BidLearnerTrainer(scenario, "q_table", engine=engine).train(1)
+    out: dict[str, dict] = {}
+    for name in LEARNERS:
+        best = float("inf")
+        steps = 0
+        weights: list[np.ndarray] | None = None
+        for _ in range(REPEATS):
+            trainer = BidLearnerTrainer(scenario, name, engine=engine)
+            t0 = time.perf_counter()
+            curve = trainer.train(episodes)
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+            steps = sum(int(row["steps"]) for row in curve)
+            if weights is None:
+                weights = trainer.learner.weights()
+            else:
+                deterministic = all(
+                    np.array_equal(a, b)
+                    for a, b in zip(weights, trainer.learner.weights())
+                )
+                if not deterministic:
+                    raise AssertionError(
+                        f"{name}: identically-seeded training runs diverged"
+                    )
+        out[name] = {
+            "seconds": best,
+            "episodes": episodes,
+            "steps": steps,
+            "steps_per_sec": steps / best if best > 0 else float("inf"),
+        }
+    return out
+
+
+def run(quick: bool = True, out_path: Path | None = None) -> dict:
+    payload = {
+        "bench": "learner",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "learn": time_learners(quick=quick),
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_training_throughput_is_positive_and_deterministic():
+    """Acceptance: both learners train deterministically at nonzero rate."""
+    learn = time_learners(quick=True)
+    assert set(learn) == set(LEARNERS)
+    for name, row in learn.items():
+        assert row["steps"] > 0, name
+        assert row["steps_per_sec"] > 0, name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="artifact path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick, out_path=args.out)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,19 @@ Usage::
         --set 'bidding={"mix":[{"name":"fixed_markup","fraction":0.2,"markup":0.1}]}'
     python -m repro report --incentives --preset smoke --store runs/
     python -m repro report --incentives --preset paper --assert-ic  # CI gate
+    #   ^ also trains the adaptive adversary (--learned-episodes, default 8)
+    #     and gates the resulting "learned_deviation" row
+
+    # Learned bidders: train an RL policy over the auction gym
+    # (repro.strategic.learn), checkpointed through the store.
+    python -m repro train-bidder --preset smoke --store runs/ \
+        --learner q_table --episodes 60 --artifact policy.json --curve curve.csv
+    python -m repro train-bidder --preset smoke --store runs/ --resume \
+        --episodes 120                      # continue bitwise from the store
+    python -m repro train-bidder --preset smoke --eval-episodes 4 \
+        --assert-improves                   # exit 1 unless it beats the jitter baseline
+    python -m repro run --preset smoke \
+        --set 'bidding={"mix":[{"name":"learned","artifact":"policy.json","fraction":0.2}]}'
 
     # Distributed sweeps: cells fan out over a shared store (docs/deployment.md).
     python -m repro run --preset bench --set seeds=0,1,2,3 \
@@ -82,6 +95,7 @@ COMMANDS = (
     "run",
     "scenario",
     "report",
+    "train-bidder",
     "worker",
     "coordinator",
     "registry",
@@ -410,6 +424,104 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_train_bidder(args) -> int:
+    """Train a ``BID_LEARNERS`` policy over the auction gym."""
+    from .api.store import ExperimentStore, StoreError
+    from .strategic.learn import (
+        BidLearnerTrainer,
+        curve_to_csv,
+        evaluate,
+        greedy_controller,
+        jitter_controller,
+    )
+
+    scenario = _load_scenario(args)
+    if args.episodes < 0:
+        raise SystemExit("error: --episodes must be >= 0")
+    store = None
+    if args.store is not None:
+        try:
+            store = ExperimentStore(
+                args.store,
+                keep_last_n=args.keep_last,
+                keep_every_k=args.keep_every,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    try:
+        trainer = BidLearnerTrainer(
+            scenario,
+            args.learner,
+            scheme=args.train_scheme,
+            env_seed=args.seed,
+            node_id=args.node_id,
+            train_seed=args.train_seed,
+            store=store,
+            checkpoint_every=args.checkpoint_every,
+        )
+        resumed_from = trainer.resume() if args.resume else 0
+        curve = trainer.train(args.episodes)
+    except (StoreError, ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"error: {exc}")
+    played = trainer.episodes_done - resumed_from
+    tail = curve[-min(5, len(curve)) :]
+    tail_mean = (
+        sum(row["payoff"] for row in tail) / len(tail) if tail else 0.0
+    )
+    # The env resolves the default node on its first reset; a pure-resume
+    # run never resets, so fall back to the requested id ("first").
+    node = trainer.env.node_id
+    if node is None:
+        node = trainer.node_id if trainer.node_id is not None else "first"
+    print(
+        f"trained {trainer.learner.name} on cell ({args.train_scheme}, "
+        f"seed {args.seed}, node {node}): "
+        f"{played} episode(s) this run, {trainer.episodes_done} total"
+        + (f" (resumed at {resumed_from})" if resumed_from else "")
+    )
+    if curve:
+        print(f"mean payoff over the last {len(tail)} episode(s): {tail_mean:.6f}")
+    if store is not None:
+        print(
+            f"store: checkpoints under {args.store} "
+            f"(cell {trainer.cell_scheme}-seed{trainer.train_seed}, "
+            f"retained episodes {store.checkpoint_rounds(scenario, trainer.cell_scheme, trainer.train_seed)})"
+        )
+    if args.artifact is not None:
+        digest = trainer.save_artifact(args.artifact)
+        print(f"wrote policy artifact {args.artifact} (sha256 {digest[:12]}…)")
+    if args.curve is not None:
+        curve_to_csv(curve, args.curve)
+        print(f"wrote {len(curve)} training-curve rows to {args.curve}")
+    if args.eval_episodes:
+        common = dict(
+            scheme=args.train_scheme,
+            seed=args.seed,
+            node_id=args.node_id,
+            episodes=args.eval_episodes,
+            engine=trainer.env.engine,
+        )
+        learned = evaluate(
+            scenario, greedy_controller(trainer.learner), **common
+        )
+        jitter = evaluate(
+            scenario, jitter_controller(seed=args.train_seed), **common
+        )
+        learned_mean = sum(learned) / len(learned)
+        jitter_mean = sum(jitter) / len(jitter)
+        print(
+            f"evaluation over {args.eval_episodes} episode(s): learned "
+            f"{learned_mean:.6f} vs random_jitter {jitter_mean:.6f} per episode"
+        )
+        if args.assert_improves and learned_mean <= jitter_mean:
+            print(
+                "IMPROVEMENT ASSERTION FAILED: the learned policy did not "
+                "out-earn the random_jitter baseline"
+            )
+            return 1
+    return 0
+
+
 def _cmd_report_incentives(args) -> int:
     """Run the IC/IR deviation sweep and render its table."""
     from .analysis import run_incentive_sweep
@@ -417,12 +529,17 @@ def _cmd_report_incentives(args) -> int:
     scenario = _load_scenario(args)
     if not (0.0 < args.deviant_fraction < 1.0):
         raise SystemExit("error: --deviant-fraction must lie in (0, 1)")
+    if args.learned_episodes < 0:
+        raise SystemExit("error: --learned-episodes must be >= 0")
     try:
         report = run_incentive_sweep(
             scenario,
             store=args.store,
             fraction=args.deviant_fraction,
             log=lambda msg: print(f"  {msg}", file=sys.stderr),
+            learned_episodes=args.learned_episodes,
+            learner=args.learner,
+            learned_seed=args.train_seed,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -774,6 +891,98 @@ def main(argv: list[str] | None = None) -> int:
         "deviation policy (default 0.2)",
     )
     parser.add_argument(
+        "--learner",
+        default="q_table",
+        choices=("q_table", "pg_mlp"),
+        help="with `train-bidder` / `report --incentives`: the BID_LEARNERS "
+        "entry to train (default q_table)",
+    )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        default=60,
+        metavar="E",
+        help="with `train-bidder`: total episodes to reach (default 60; "
+        "with --resume only the remainder is played)",
+    )
+    parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="with `train-bidder` / `report --incentives`: seed of the "
+        "learner's exploration stream (default 0; independent of the env "
+        "cell seed --seed)",
+    )
+    parser.add_argument(
+        "--train-scheme",
+        default="FMore",
+        metavar="SCHEME",
+        help="with `train-bidder`: the auction scheme the learner plays "
+        "(default FMore)",
+    )
+    parser.add_argument(
+        "--node-id",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="with `train-bidder`: the controlled node (default: the "
+        "federation's first node)",
+    )
+    parser.add_argument(
+        "--artifact",
+        default=None,
+        metavar="FILE",
+        help="with `train-bidder`: write the trained policy artifact there "
+        "(deployable via the `learned` bidding mix entry)",
+    )
+    parser.add_argument(
+        "--curve",
+        default=None,
+        metavar="FILE",
+        help="with `train-bidder`: write the training curve as CSV "
+        "(episode,payoff,wins,steps)",
+    )
+    parser.add_argument(
+        "--eval-episodes",
+        type=int,
+        default=0,
+        metavar="E",
+        help="with `train-bidder`: evaluate the greedy learned policy and "
+        "the random_jitter baseline over E replay episodes each",
+    )
+    parser.add_argument(
+        "--assert-improves",
+        action="store_true",
+        help="with `train-bidder --eval-episodes`: exit 1 unless the learned "
+        "policy's mean payoff beats the random_jitter baseline (CI gate)",
+    )
+    parser.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        metavar="N",
+        help="with `train-bidder --store`: checkpoint retention — keep the "
+        "last N episode checkpoints (default 3)",
+    )
+    parser.add_argument(
+        "--keep-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with `train-bidder --store`: additionally retain every K-th "
+        "episode checkpoint",
+    )
+    parser.add_argument(
+        "--learned-episodes",
+        type=int,
+        default=8,
+        metavar="E",
+        help="with `report --incentives`: train the adaptive adversary for "
+        "E episodes per scheme and add the learned_deviation row "
+        "(default 8; 0 disables)",
+    )
+    parser.add_argument(
         "--emit-jobs",
         default=None,
         metavar="DIR",
@@ -842,6 +1051,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "train-bidder":
+        return _cmd_train_bidder(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "coordinator":

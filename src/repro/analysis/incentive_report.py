@@ -170,6 +170,9 @@ def run_incentive_sweep(
     fraction: float = 0.2,
     engine=None,
     log=None,
+    learned_episodes: int = 0,
+    learner: str | dict = "q_table",
+    learned_seed: int = 0,
 ) -> IncentiveReport:
     """Sweep deviation policies against ``scenario``; measure IC and IR.
 
@@ -185,6 +188,16 @@ def run_incentive_sweep(
     ``store`` each variant lands as ordinary manifests (repeat sweeps
     are incremental); payoffs come from the ``payoff_deviant_*``
     metrics columns.
+
+    With ``learned_episodes > 0`` the sweep also trains the named
+    ``BID_LEARNERS`` entry (:mod:`repro.strategic.learn`) for that many
+    episodes per scheme — an *adaptive* adversary optimised against this
+    exact population, deployed greedily through the ``learned`` bid
+    policy and reported as the ``learned_deviation`` row.  Training is
+    seed-deterministic (``learned_seed``); with a ``store`` the trainer
+    checkpoints under its pseudo-cell and the policy artifact lands
+    under ``<store>/learners/``, so repeat sweeps resume instead of
+    retraining and the deviation run's manifests keep their addresses.
     """
     from ..api.engine import FMoreEngine
     from ..api.store import ExperimentStore
@@ -252,4 +265,116 @@ def run_incentive_sweep(
                     min_deviant_payoff=min(mins) if mins else 0.0,
                 )
             )
+
+    if learned_episodes:
+        _append_learned_rows(
+            report,
+            scenario,
+            schemes,
+            baseline,
+            store=store,
+            engine=engine,
+            fraction=float(fraction),
+            episodes=int(learned_episodes),
+            learner=learner,
+            learned_seed=int(learned_seed),
+            log=log,
+        )
     return report
+
+
+def _append_learned_rows(
+    report: IncentiveReport,
+    scenario,
+    schemes: Sequence[str],
+    baseline: dict[str, float],
+    store,
+    engine,
+    fraction: float,
+    episodes: int,
+    learner: str | dict,
+    learned_seed: int,
+    log,
+) -> None:
+    """Train the adaptive adversary per scheme and measure its deviation.
+
+    The learner trains against the base (all-truthful) population of the
+    *same cell* the deviation then runs in (``env_seed`` = the plan's
+    first seed), is frozen into a policy artifact, and deployed greedily
+    on the deviant block.  Artifacts live under ``<store>/learners/``
+    (or a temporary directory for store-less sweeps); the mix entry pins
+    the artifact digest, so a changed training outcome changes the
+    variant's content address instead of silently reusing stale
+    manifests.
+    """
+    import tempfile
+
+    from ..api.store import scenario_hash
+    from ..strategic.learn import BidLearnerTrainer
+
+    env_seed = int(scenario.seeds[0]) if scenario.seeds else 0
+    tmp = None
+    if store is not None:
+        artifact_root = store.root / "learners" / scenario_hash(scenario)
+    else:
+        tmp = tempfile.TemporaryDirectory()
+        artifact_root = Path(tmp.name)
+    try:
+        for scheme in schemes:
+            trainer = BidLearnerTrainer(
+                scenario,
+                learner,
+                scheme=scheme,
+                env_seed=env_seed,
+                train_seed=learned_seed,
+                store=store,
+                engine=engine,
+            )
+            if log is not None:
+                log(
+                    f"training learned adversary ({trainer.learner.name}, "
+                    f"{episodes} episodes) against scheme {scheme!r}"
+                )
+            trainer.train(episodes, resume=store is not None)
+            artifact = artifact_root / (
+                f"{scheme}-{trainer.cell_scheme}-seed{learned_seed}.json"
+            )
+            digest = trainer.save_artifact(artifact)
+            mix_entry = {
+                "name": "learned",
+                "artifact": str(artifact),
+                "digest": digest,
+                "fraction": fraction,
+                "label": "deviant",
+            }
+            variant = scenario.with_(
+                schemes=(scheme,), bidding={"mix": [mix_entry]}
+            )
+            if log is not None:
+                log(f"running deviation 'learned_deviation' over scheme {scheme!r}")
+            frame = engine.run(variant, store=store).metrics()
+            sub = frame.filter(scheme=scheme)
+            deviant = [
+                v for v in sub.column("payoff_deviant_mean") if v is not None
+            ]
+            mins = [
+                v for v in sub.column("payoff_deviant_min") if v is not None
+            ]
+            if not deviant:
+                raise ValueError(
+                    f"learned deviation produced no payoff columns for "
+                    f"scheme {scheme!r} — the strategic slice never bid"
+                )
+            report.rows.append(
+                IncentiveRow(
+                    scheme=scheme,
+                    policy="learned_deviation",
+                    fraction=fraction,
+                    deviant_payoff=sum(deviant) / len(deviant),
+                    truthful_payoff=baseline[scheme],
+                    min_deviant_payoff=min(mins) if mins else 0.0,
+                )
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

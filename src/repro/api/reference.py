@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterator
 
 from .. import core as _core  # noqa: F401 - registers the auction families
 from ..core.registry import (
+    BID_LEARNERS,
     BID_POLICIES,
     COST_MODELS,
     EXECUTORS,
@@ -33,6 +34,7 @@ from ..core.registry import (
     WINNER_SELECTIONS,
     Registry,
 )
+from ..strategic import learn as _learn  # noqa: F401 - registers bid learners
 from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
 from . import coordinator as _coordinator  # noqa: F401 - registers "service"
 from . import distributed as _distributed  # noqa: F401 - registers "distributed"
@@ -105,6 +107,16 @@ FAMILIES: tuple[tuple[Registry, str, str], ...] = (
         "to strategic bidding behaviours (plus a `per_scheme` override "
         "mapping); unassigned nodes stay truthful. See the strategic "
         "bidders section of the README.",
+    ),
+    (
+        BID_LEARNERS,
+        "Bid learners",
+        "Training-side family, not a Scenario field: "
+        "`python -m repro train-bidder --learner <name>` (or "
+        "`repro.strategic.learn.BidLearnerTrainer`) trains one over the "
+        "auction gym and freezes it into a policy artifact; scenarios then "
+        "deploy the artifact through the `learned` bid-policy entry. See "
+        "the learned bidders section of the README.",
     ),
     (
         EXECUTORS,
@@ -240,6 +252,7 @@ def _registry_var_name(registry: Registry) -> str:
         id(MARGIN_METHODS): "MARGIN_METHODS",
         id(ROUND_POLICIES): "ROUND_POLICIES",
         id(BID_POLICIES): "BID_POLICIES",
+        id(BID_LEARNERS): "BID_LEARNERS",
         id(EXECUTORS): "EXECUTORS",
     }
     return mapping[id(registry)]

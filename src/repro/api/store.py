@@ -547,6 +547,19 @@ class ExperimentStore:
             )
         return checkpoint
 
+    def latest_checkpoint(
+        self, scenario: Scenario | str, scheme: str, seed: int
+    ) -> Checkpoint | None:
+        """The newest retained checkpoint of a cell, or ``None``.
+
+        A documented convenience for resume loops (the bid-learner
+        trainer, CLI ``--resume``): equivalent to
+        :meth:`load_checkpoint` with ``round_index=None`` — newest
+        per-round directory under retention policies, flat-layout
+        fallback otherwise.
+        """
+        return self.load_checkpoint(scenario, scheme, seed, round_index=None)
+
     def clear_checkpoint(
         self, scenario: Scenario | str, scheme: str, seed: int
     ) -> None:

@@ -40,6 +40,7 @@ __all__ = [
     "EXECUTORS",
     "ROUND_POLICIES",
     "BID_POLICIES",
+    "BID_LEARNERS",
 ]
 
 
@@ -161,3 +162,7 @@ ROUND_POLICIES = Registry("round policy")
 # assigned to population fractions by Scenario.bidding and driven by
 # FMoreMechanism's per-round bid collection.
 BID_POLICIES = Registry("bid policy")
+# Trainable strategic bidders (members live in repro.strategic.learn:
+# q_table/pg_mlp), driven by BidLearnerTrainer over AuctionEnv episodes and
+# deployed through the "learned" BID_POLICIES entry once trained.
+BID_LEARNERS = Registry("bid learner")

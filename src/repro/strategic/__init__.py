@@ -15,8 +15,14 @@ this subsystem makes that claim empirical.  It has three layers:
   environment over ``FMoreEngine.session``: one controlled agent amid a
   policy-driven population (observation = public round state, action =
   bid vector, reward = realized payoff).
+* :mod:`repro.strategic.learn` — the trainable ``BID_LEARNERS`` family
+  (``q_table``, ``pg_mlp``) with :class:`BidLearnerTrainer` driving
+  checkpointed, bitwise-resumable episodes over the gym; trained
+  policies deploy through the ``learned`` ``BID_POLICIES`` entry (CLI:
+  ``python -m repro train-bidder``).
 * :mod:`repro.analysis.incentive_report` — the IC/IR report sweeping a
-  deviating fraction across policies and schemes (CLI:
+  deviating fraction across policies and schemes, including a "learned
+  deviation" row trained on the spot (CLI:
   ``python -m repro report --incentives``).
 """
 
@@ -47,14 +53,41 @@ __all__ = [
     "ExternalBidPolicy",
     "build_bid_policies",
     "AuctionEnv",
+    "BID_LEARNERS",
+    "BidLearner",
+    "QTableLearner",
+    "PolicyGradientLearner",
+    "BidLearnerTrainer",
+    "LearnedBidding",
+    "save_policy_artifact",
+    "load_policy_artifact",
+    "artifact_digest",
 ]
+
+# Names resolved lazily: .gym and .learn import repro.api modules, and
+# `repro.api.scenario -> repro.strategic` must stay cycle-free.
+_LEARN_EXPORTS = frozenset(
+    {
+        "BID_LEARNERS",
+        "BidLearner",
+        "QTableLearner",
+        "PolicyGradientLearner",
+        "BidLearnerTrainer",
+        "LearnedBidding",
+        "save_policy_artifact",
+        "load_policy_artifact",
+        "artifact_digest",
+    }
+)
 
 
 def __getattr__(name: str):
-    # AuctionEnv lives in .gym, which imports repro.api.engine; resolving
-    # it lazily keeps `repro.api.scenario -> repro.strategic` cycle-free.
     if name == "AuctionEnv":
         from .gym import AuctionEnv
 
         return AuctionEnv
+    if name in _LEARN_EXPORTS:
+        from . import learn
+
+        return getattr(learn, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,6 +32,7 @@ from typing import Any
 import numpy as np
 
 from ..fl.selection import AuctionSelection
+from ..sim.rng import rng_from
 from .policies import ExternalBidPolicy
 
 __all__ = ["AuctionEnv"]
@@ -64,7 +65,9 @@ class AuctionEnv:
     * ``None`` — bid the equilibrium (truthful) quality and payment;
     * a scalar — ask that payment at the equilibrium quality;
     * a length ``m + 1`` vector — ``m`` qualities followed by the asked
-      payment (qualities are clipped to the node's feasible box).
+      payment.  Qualities outside the game's quality box (and non-positive
+      or non-finite payments) raise ``ValueError``; in-box qualities are
+      still capped to the node's private capacity at submission.
     """
 
     def __init__(
@@ -88,6 +91,9 @@ class AuctionEnv:
         self.node_id: int | None = None
         self._policy: ExternalBidPolicy | None = None
         self._agent = None
+        # Convenience stream for sample_action(); deliberately outside the
+        # checkpoint surface (exploration helpers are not episode state).
+        self._sample_rng = rng_from(self.seed, f"env-sample-{self.scheme}")
 
     # ------------------------------------------------------------------
     # Episode lifecycle
@@ -150,7 +156,39 @@ class AuctionEnv:
             "equilibrium_quality": np.asarray(quality, dtype=float),
             "equilibrium_payment": float(payment),
             "last_threshold": threshold,
+            "rounds_waited": int(self._policy.waits.get(self.node_id, 0)),
+            "last_payoff": float(
+                self._policy.last_payoffs.get(self.node_id, 0.0)
+            ),
         }
+
+    def sample_action(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """A random feasible full bid: ``m`` qualities plus a payment.
+
+        Qualities are uniform in the node's feasible box ``[lo,
+        min(capacity, hi)]``; the payment is the equilibrium ask scaled by
+        a uniform factor in ``[0.5, 1.5]``.  Draws come from ``rng`` when
+        given, else from the env's own seeded convenience stream (stable
+        across runs, but *not* part of the checkpoint surface — learners
+        that need replayable exploration must pass their own generator).
+        """
+        if self.session is None:
+            raise RuntimeError("call reset() before sampling an action")
+        if rng is None:
+            rng = self._sample_rng
+        solver = self._agent.solver
+        bounds = np.asarray(solver.quality_bounds, dtype=float)
+        cap = np.asarray(
+            self._agent.quality_extractor(self._agent.last_available),
+            dtype=float,
+        )
+        lo = bounds[:, 0]
+        hi = np.minimum(cap, bounds[:, 1])
+        hi = np.maximum(hi, lo)
+        qualities = rng.uniform(lo, hi)
+        _, eq_payment = solver.bid(self._agent.theta)
+        payment = float(eq_payment) * rng.uniform(0.5, 1.5)
+        return np.concatenate([qualities, [payment]])
 
     def step(self, action=None) -> tuple[dict[str, Any], float, bool, dict[str, Any]]:
         """Submit ``action`` as this round's bid; run the round.
@@ -186,14 +224,37 @@ class AuctionEnv:
             return None, None
         arr = np.atleast_1d(np.asarray(action, dtype=float))
         if arr.size == 1:
-            return None, float(arr[0])
-        m = len(self._agent.solver.quality_bounds)
+            return None, self._check_payment(float(arr[0]))
+        bounds = np.asarray(self._agent.solver.quality_bounds, dtype=float)
+        m = len(bounds)
         if arr.size != m + 1:
             raise ValueError(
                 f"action must be a scalar payment or a length-{m + 1} "
                 f"(qualities + payment) vector; got size {arr.size}"
             )
-        return [float(v) for v in arr[:-1]], float(arr[-1])
+        qualities = arr[:-1]
+        # Declared qualities must lie in the *game's* quality box — an
+        # out-of-box vector is a malformed action, not a bold bid, so it
+        # errors instead of being clamped silently.  (The node's dynamic
+        # capacity cap is still applied by BidBatch.clip_qualities: that
+        # one is private state the agent cannot know.)
+        if not np.all(np.isfinite(qualities)):
+            raise ValueError(f"action qualities must be finite; got {qualities!r}")
+        lo, hi = bounds[:, 0], bounds[:, 1]
+        if np.any(qualities < lo) or np.any(qualities > hi):
+            raise ValueError(
+                f"action qualities {qualities!r} fall outside the game's "
+                f"quality box [{lo!r}, {hi!r}]"
+            )
+        return [float(v) for v in qualities], self._check_payment(float(arr[-1]))
+
+    @staticmethod
+    def _check_payment(payment: float) -> float:
+        if not np.isfinite(payment) or payment <= 0.0:
+            raise ValueError(
+                f"action payment must be a positive finite ask; got {payment!r}"
+            )
+        return payment
 
     # ------------------------------------------------------------------
     # Checkpointing (bitwise resume, via the session surface)

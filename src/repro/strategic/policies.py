@@ -437,6 +437,10 @@ class ExternalBidPolicy(BidPolicy):
         # the equilibrium value for that half of the bid.
         self.pending: dict[int, tuple[list[float] | None, float | None]] = {}
         self.last_feedback: RoundFeedback | None = None
+        # node_id -> rounds since last win / last realized payoff, kept so
+        # the env can expose them as observation features.
+        self.waits: dict[int, int] = {}
+        self.last_payoffs: dict[int, float] = {}
 
     def set_action(
         self,
@@ -465,16 +469,30 @@ class ExternalBidPolicy(BidPolicy):
 
     def observe(self, feedback, rng):
         self.last_feedback = feedback
+        payoffs = feedback.payoffs
+        for j, node_id in enumerate(feedback.node_ids):
+            node_id = int(node_id)
+            if feedback.won[j]:
+                self.waits[node_id] = 0
+            else:
+                self.waits[node_id] = self.waits.get(node_id, 0) + 1
+            self.last_payoffs[node_id] = float(payoffs[j])
 
     def state_dict(self) -> dict:
         return {
             "pending": {
                 str(k): [q, p] for k, (q, p) in self.pending.items()
-            }
+            },
+            "waits": {str(k): int(v) for k, v in self.waits.items()},
+            "last_payoffs": {
+                str(k): float(v) for k, v in self.last_payoffs.items()
+            },
         }
 
     def load_state(self, state: Mapping[str, Any]) -> None:
-        unknown = sorted(set(state) - {"pending"})
+        # waits/last_payoffs may be absent in checkpoints written before
+        # they existed; tolerate that, reject anything unknown.
+        unknown = sorted(set(state) - {"pending", "waits", "last_payoffs"})
         if unknown:
             raise ValueError(f"unknown external state keys {unknown}")
         self.pending = {
@@ -484,6 +502,29 @@ class ExternalBidPolicy(BidPolicy):
             )
             for k, v in dict(state.get("pending", {})).items()
         }
+        self.waits = {
+            int(k): int(v) for k, v in dict(state.get("waits", {})).items()
+        }
+        self.last_payoffs = {
+            int(k): float(v)
+            for k, v in dict(state.get("last_payoffs", {})).items()
+        }
+
+
+@BID_POLICIES.register("learned")
+def _learned_bidding(artifact: str, digest: str | None = None):
+    """Deploy a trained bid-learner artifact as a greedy markup policy.
+
+    ``artifact`` is the JSON file written by ``python -m repro
+    train-bidder --artifact`` (or :func:`repro.strategic.learn.
+    save_policy_artifact`); ``digest`` optionally pins its SHA-256 so a
+    scenario only runs against the exact policy it was written for.  The
+    heavy learner module is imported lazily: scenarios without a
+    ``learned`` entry never pay for it.
+    """
+    from .learn import LearnedBidding
+
+    return LearnedBidding(artifact=artifact, digest=digest)
 
 
 # ----------------------------------------------------------------------
