@@ -1,0 +1,273 @@
+"""Within-round local-training pool: serial vs thread vs process timings.
+
+``FederatedTrainer`` can fan the winners' local trainings out over an
+in-round executor pool (``Scenario.execution.local_training``); the
+per-winner derived RNG streams make the pool choice bitwise-invisible.
+This bench tracks both halves of that contract as numbers:
+
+* **fl round** — one full FL round of the paper CNN (``mnist_o``) at
+  K = 4 and K = 8 winners under each in-round pool (serial / thread /
+  process), reusing the winners' datasets across pools so the timings
+  are apples-to-apples.
+* **identity gate** — every pool's final weights must hash identically
+  to the serial reference at the same K (*asserted*, like the
+  coordinator bench's manifest gate).
+* **speedup gate** — the best parallel pool must beat serial by
+  >= 1.5x at K = 8 — enforced only when the machine has more than one
+  CPU (the artifact records ``cpus``; a single-core runner cannot
+  physically speed anything up, so there the gate is informational).
+
+The stable ``fl:serial_k*`` timings join ``bench_compare.py``'s >20%
+perf-trajectory gate through the ``BENCH_fl_round.json`` CI artifact;
+the parallel rows feed the absolute ``fl:*`` gates instead (thread and
+process seconds swing with runner load).
+
+Run standalone (writes ``BENCH_fl_round.json`` for the CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_fl_round.py --quick
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fl_round.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_fl_round.json"
+
+#: Winner counts per round: the paper's K and the doubled stress point.
+K_SMALL = 4
+K_LARGE = 8
+#: Best parallel pool must beat serial by this factor at K = K_LARGE
+#: (enforced only on multi-CPU machines).
+MIN_PARALLEL_SPEEDUP = 1.5
+POOLS = ("serial", "thread", "process")
+
+N_CLASSES = 10
+
+
+def _federation(k: int, quick: bool):
+    """Clients + a fresh trainer factory for one K-winner federation.
+
+    Quick mode keeps the smoke-test scale (CI runs this on every
+    commit); full mode grows the per-client datasets and epochs so the
+    per-winner work dominates pool overheads (fork + pickling for the
+    process pool, dispatch for the thread pool) and the speedup gate
+    measures the fan-out, not the plumbing.
+    """
+    from repro.api.executor import EXECUTORS
+    from repro.fl.client import FLClient
+    from repro.fl.models import build_model
+    from repro.fl.partition import ClientData
+    from repro.fl.selection import SelectionResult, SelectionStrategy
+    from repro.fl.server import FedAvgServer
+    from repro.fl.trainer import FederatedTrainer
+    from repro.sim.rng import rng_from
+
+    per_client = 64 if quick else 256
+    epochs = 1 if quick else 2
+    side = 8 if quick else 12
+
+    class FixedSelection(SelectionStrategy):
+        name = "bench-fixed"
+
+        def select(self, round_index, rng):
+            return SelectionResult(
+                winner_ids=list(range(k)),
+                declared_samples={w: per_client for w in range(k)},
+            )
+
+    data_rng = np.random.default_rng(2020)
+    clients = [
+        FLClient(
+            ClientData(
+                i,
+                data_rng.random((per_client, side, side, 1)),
+                data_rng.integers(0, N_CLASSES, per_client),
+                N_CLASSES,
+            ),
+            batch_size=16,
+            local_epochs=epochs,
+        )
+        for i in range(k)
+    ]
+    test_x = data_rng.random((32, side, side, 1))
+    test_y = data_rng.integers(0, N_CLASSES, 32)
+
+    def make_trainer(pool: str):
+        executor = None
+        if pool == "serial":
+            executor = EXECUTORS.create("serial")
+        else:
+            executor = EXECUTORS.create(pool, max_workers=k)
+        model = build_model(
+            "mnist_o", (side, side, 1), N_CLASSES, rng_from(0, "bench-fl-model"),
+            width=0.25,
+        )
+        return FederatedTrainer(
+            FedAvgServer(model),
+            clients,
+            FixedSelection(),
+            test_x,
+            test_y,
+            rng_from(0, "bench-fl-train"),
+            local_executor=executor,
+        )
+
+    return make_trainer
+
+
+def _weights_digest(trainer) -> str:
+    h = hashlib.sha256()
+    for w in trainer.server.model.get_weights():
+        h.update(w.tobytes())
+    return h.hexdigest()
+
+
+def time_fl_round(k: int, quick: bool, repeats: int = 3) -> dict:
+    """One FL round at ``k`` winners under each pool (best of ``repeats``).
+
+    Each repeat builds a fresh trainer (so every pool starts from the
+    identical global model and round-stream position) but times only the
+    round itself; the first run of each pool is a discarded warm-up
+    (thread/process pool spin-up, BLAS first-touch).
+    """
+    rows: dict[str, dict] = {}
+    for pool in POOLS:
+        make_trainer = _federation(k, quick)
+        digest = None
+        times = []
+        for rep in range(repeats + 1):  # +1 discarded warm-up
+            trainer = make_trainer(pool)
+            t0 = time.perf_counter()
+            trainer.run_round(1)
+            elapsed = time.perf_counter() - t0
+            if rep > 0:
+                times.append(elapsed)
+            digest = _weights_digest(trainer)
+        rows[pool] = {
+            "k": k,
+            "executor": pool,
+            "seconds": min(times),
+            "weights_sha256": digest,
+        }
+    serial = rows["serial"]
+    for pool in POOLS[1:]:
+        rows[pool]["matches_serial"] = (
+            rows[pool]["weights_sha256"] == serial["weights_sha256"]
+        )
+        rows[pool]["speedup"] = serial["seconds"] / rows[pool]["seconds"]
+    return rows
+
+
+def gate_failures(data: dict) -> list[str]:
+    """The ``fl:*`` gate verdicts over one artifact's pool timings.
+
+    Identity is absolute: a parallel pool that lands different weights
+    than serial is wrong on any machine.  The >= 1.5x speedup bound at
+    K = 8 only applies when the recording machine had more than one CPU
+    (``cpus`` in the artifact) — a single core cannot speed anything up.
+    """
+    failures: list[str] = []
+    fl = data.get("fl_round", {})
+    for k_label, rows in sorted(fl.items()):
+        for pool in POOLS[1:]:
+            row = rows.get(pool, {})
+            if row.get("matches_serial") is False:
+                failures.append(
+                    f"fl:{pool}_{k_label}: weights diverged from serial"
+                )
+    cpus = data.get("cpus")
+    rows = fl.get(f"k{K_LARGE}", {})
+    speedups = [
+        rows[pool]["speedup"]
+        for pool in POOLS[1:]
+        if "speedup" in rows.get(pool, {})
+    ]
+    if isinstance(cpus, int) and cpus > 1 and speedups:
+        best = max(speedups)
+        if best < MIN_PARALLEL_SPEEDUP:
+            failures.append(
+                f"fl:k{K_LARGE}: best parallel speedup {best:.2f}x < "
+                f"{MIN_PARALLEL_SPEEDUP}x serial on a {cpus}-CPU machine"
+            )
+    return failures
+
+
+def run(quick: bool = True, out_path: Path | None = None) -> dict:
+    repeats = 2 if quick else 4
+    payload = {
+        "bench": "fl_round",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "fl_round": {
+            f"k{k}": time_fl_round(k, quick=quick, repeats=repeats)
+            for k in (K_SMALL, K_LARGE)
+        },
+    }
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_fl_round_pools_bitwise_identical():
+    """Acceptance: thread and process pools land serial's exact weights."""
+    rows = time_fl_round(K_SMALL, quick=True, repeats=1)
+    for pool in POOLS[1:]:
+        assert rows[pool]["matches_serial"], (
+            f"{pool} pool weights diverged from serial at K={K_SMALL}"
+        )
+
+
+def test_fl_round_parallel_speedup_on_multicore():
+    """Acceptance: best parallel pool >= 1.5x serial at K = 8 (multi-CPU)."""
+    import pytest
+
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        pytest.skip("single-CPU machine: a pool cannot beat serial here")
+    rows = time_fl_round(K_LARGE, quick=True, repeats=2)
+    best = max(rows[pool]["speedup"] for pool in POOLS[1:])
+    assert best >= MIN_PARALLEL_SPEEDUP, (
+        f"best parallel speedup {best:.2f}x < {MIN_PARALLEL_SPEEDUP}x "
+        f"serial at K={K_LARGE} on a {cpus}-CPU machine"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="artifact path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick, out_path=args.out)
+    print(json.dumps(payload, indent=2))
+    failures = gate_failures(payload)
+    if failures:
+        print("\nFAILED fl-round gates:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,11 @@ façade; ``--set key=value`` overrides any scenario field.  Multi-seed
 sweeps fan their ``(scheme, seed)`` cells out through the scenario's
 ``execution`` spec: ``--parallel N`` runs them on an N-worker process pool
 and ``--executor serial|thread|process`` picks the pool type (results are
-bitwise-identical either way).  The pytest benches in ``benchmarks/``
+bitwise-identical either way).  ``--local-parallel N`` additionally fans
+each round's K winner trainings over a within-round thread pool (serial/
+thread/process agree bitwise with each other), and ``--nn-backend NAME``
+swaps the neural-network hot kernels onto a registered ``NN_BACKENDS``
+array backend.  The pytest benches in ``benchmarks/``
 remain the canonical reproduction (they record paper-vs-measured blocks);
 this CLI is the quick interactive path.
 """
@@ -249,6 +253,13 @@ def _load_scenario(args) -> "object":
                 execution.pop("poll_interval", None)
             if execution["executor"] != "service":
                 execution.pop("coordinator_url", None)
+            scenario = scenario.with_(execution=execution)
+        if getattr(args, "local_parallel", None) is not None:
+            execution = dict(scenario.execution)
+            local_training = dict(execution.get("local_training") or {})
+            local_training.setdefault("executor", "thread")
+            local_training["max_workers"] = args.local_parallel
+            execution["local_training"] = local_training
             scenario = scenario.with_(execution=execution)
     except (ValueError, TypeError, json.JSONDecodeError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
@@ -796,6 +807,26 @@ def main(argv: list[str] | None = None) -> int:
         "(--coordinator URL, or an embedded one when omitted)",
     )
     parser.add_argument(
+        "--local-parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally fan each round's K winner trainings over an "
+        "N-worker thread pool (execution.local_training spec; serial, "
+        "thread and process pools match each other bitwise, but switching "
+        "the spec on changes results versus the legacy sequential "
+        "schedule); combine with --set "
+        "execution.local_training.executor=process for a process pool",
+    )
+    parser.add_argument(
+        "--nn-backend",
+        default=None,
+        metavar="NAME",
+        help="array backend for the neural-network hot kernels "
+        "(NN_BACKENDS registry: 'numpy' is the bitwise reference; 'numba' "
+        "needs the optional numba dependency)",
+    )
+    parser.add_argument(
         "--coordinator",
         default=None,
         metavar="URL",
@@ -1026,6 +1057,16 @@ def main(argv: list[str] | None = None) -> int:
         "(the committed docs/scenario_reference.md)",
     )
     args = parser.parse_args(argv)
+
+    if args.nn_backend is not None:
+        # Process-wide: every Sequential built afterwards routes its hot
+        # kernels through the selected NN_BACKENDS entry.
+        from .fl.nn.backends import BackendUnavailableError, set_backend
+
+        try:
+            set_backend(args.nn_backend)
+        except (KeyError, BackendUnavailableError) as exc:
+            raise SystemExit(f"error: {exc}")
 
     if args.command == "list":
         return _cmd_list()

@@ -27,6 +27,7 @@ from ..core.registry import (
     COST_MODELS,
     EXECUTORS,
     MARGIN_METHODS,
+    NN_BACKENDS,
     PAYMENT_RULES,
     ROUND_POLICIES,
     SCORING_RULES,
@@ -34,6 +35,7 @@ from ..core.registry import (
     WINNER_SELECTIONS,
     Registry,
 )
+from ..fl.nn import backends as _backends  # noqa: F401 - registers NN backends
 from ..strategic import learn as _learn  # noqa: F401 - registers bid learners
 from ..strategic import policies as _strategic  # noqa: F401 - registers bid policies
 from . import coordinator as _coordinator  # noqa: F401 - registers "service"
@@ -130,7 +132,23 @@ FAMILIES: tuple[tuple[Registry, str, str], ...] = (
         "The in-process pools (`serial`/`thread`/`process`) also fan out "
         "the per-cluster auctions of `variant=\"hierarchical\"` runs via "
         "`clusters.executor`; see the hierarchical auctions section of "
-        "the README.",
+        "the README.  An optional `execution.local_training` sub-spec "
+        "(`{\"executor\": \"serial\"|\"thread\"|\"process\", "
+        "\"max_workers\": N}`; CLI `run --local-parallel N`) fans each "
+        "round's K winner trainings over a within-round pool — the three "
+        "pool types match each other bitwise. See the within-round "
+        "parallelism section of the README.",
+    ),
+    (
+        NN_BACKENDS,
+        "NN array backends",
+        "Not a Scenario field: process-wide compute engines for the "
+        "neural-network substrate's hot kernels (GEMM, im2col/col2im, "
+        "LSTM step), selected via `repro.fl.nn.set_backend(\"<name>\")` or "
+        "the CLI's `--nn-backend`. `numpy` is the bitwise reference; "
+        "`numba` JIT-compiles the scatter/gate kernels and needs the "
+        "optional numba dependency (validated against the reference to "
+        "1e-10 in the test suite).",
     ),
 )
 
@@ -254,6 +272,7 @@ def _registry_var_name(registry: Registry) -> str:
         id(BID_POLICIES): "BID_POLICIES",
         id(BID_LEARNERS): "BID_LEARNERS",
         id(EXECUTORS): "EXECUTORS",
+        id(NN_BACKENDS): "NN_BACKENDS",
     }
     return mapping[id(registry)]
 

@@ -118,10 +118,19 @@ def scenario_hash(scenario: Scenario) -> str:
     in-round ``clusters`` executor of hierarchical scenarios: serial,
     thread and process fan-out produce bitwise-identical rounds, so those
     keys are stripped before hashing.
+
+    One execution key IS content: the presence of a ``local_training``
+    sub-spec.  Its within-round pool switches local training onto
+    per-winner derived RNG streams, changing every round's numbers versus
+    the legacy shared-stream schedule — though not across pool types,
+    which is why only a boolean marker (never the executor name or worker
+    count) enters the hash.
     """
     payload = {
         k: v for k, v in scenario.to_dict().items() if k not in PLAN_FIELDS
     }
+    if scenario.execution.get("local_training") is not None:
+        payload["local_training"] = True
     if "clusters" in payload:
         payload["clusters"] = {
             k: v

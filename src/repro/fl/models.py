@@ -13,9 +13,15 @@ Footnotes 1-2 of the paper give the exact TensorFlow architectures:
 ``width`` scales the filter/unit counts so benchmark presets can run the
 same architectures at laptop speed; ``width=1.0`` is the paper-faithful
 configuration.  Softmax itself is fused into the cross-entropy loss.
+
+The factories are frozen dataclasses rather than closures so a
+:class:`Sequential` built from them pickles — the ``process``
+local-training pool ships scratch replicas to worker processes.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,49 +50,77 @@ def _scaled(base: int, width: float) -> int:
     return max(int(round(base * width)), 2)
 
 
-def cnn_mnist_factory(n_classes: int = 10, width: float = 1.0, dropout: float = 0.2):
-    """Layer factory for the paper's MNIST CNN (footnote 1)."""
+@dataclass(frozen=True)
+class _MnistLayers:
+    n_classes: int
+    width: float
+    dropout: float
 
-    def factory():
+    def __call__(self):
         return [
-            Conv2D(_scaled(32, width), kernel_size=3),
+            Conv2D(_scaled(32, self.width), kernel_size=3),
             ReLU(),
-            Conv2D(_scaled(64, width), kernel_size=3),
+            Conv2D(_scaled(64, self.width), kernel_size=3),
             ReLU(),
             MaxPool2D(2),
-            Dropout(dropout),
+            Dropout(self.dropout),
             Flatten(),
-            Dense(_scaled(128, width)),
+            Dense(_scaled(128, self.width)),
             ReLU(),
-            Dropout(dropout),
-            Dense(n_classes),
+            Dropout(self.dropout),
+            Dense(self.n_classes),
         ]
 
-    return factory
+
+@dataclass(frozen=True)
+class _CifarLayers:
+    n_classes: int
+    width: float
+    dropout: float
+
+    def __call__(self):
+        return [
+            Conv2D(_scaled(32, self.width), kernel_size=3),
+            ReLU(),
+            Dropout(self.dropout),
+            MaxPool2D(2),
+            Conv2D(_scaled(64, self.width), kernel_size=3),
+            ReLU(),
+            Dropout(self.dropout),
+            MaxPool2D(2),
+            Flatten(),
+            Dropout(self.dropout),
+            Dense(_scaled(1024, self.width)),
+            ReLU(),
+            Dropout(self.dropout),
+            Dense(self.n_classes),
+        ]
+
+
+@dataclass(frozen=True)
+class _LstmLayers:
+    vocab_size: int
+    n_classes: int
+    embed_dim: int
+    hidden: int
+    width: float
+
+    def __call__(self):
+        return [
+            Embedding(self.vocab_size, _scaled(self.embed_dim, self.width)),
+            LSTM(_scaled(self.hidden, self.width)),
+            Dense(self.n_classes),
+        ]
+
+
+def cnn_mnist_factory(n_classes: int = 10, width: float = 1.0, dropout: float = 0.2):
+    """Layer factory for the paper's MNIST CNN (footnote 1)."""
+    return _MnistLayers(int(n_classes), float(width), float(dropout))
 
 
 def cnn_cifar_factory(n_classes: int = 10, width: float = 1.0, dropout: float = 0.2):
     """Layer factory for the paper's CIFAR-10 CNN (footnote 2)."""
-
-    def factory():
-        return [
-            Conv2D(_scaled(32, width), kernel_size=3),
-            ReLU(),
-            Dropout(dropout),
-            MaxPool2D(2),
-            Conv2D(_scaled(64, width), kernel_size=3),
-            ReLU(),
-            Dropout(dropout),
-            MaxPool2D(2),
-            Flatten(),
-            Dropout(dropout),
-            Dense(_scaled(1024, width)),
-            ReLU(),
-            Dropout(dropout),
-            Dense(n_classes),
-        ]
-
-    return factory
+    return _CifarLayers(int(n_classes), float(width), float(dropout))
 
 
 def lstm_factory(
@@ -97,15 +131,9 @@ def lstm_factory(
     width: float = 1.0,
 ):
     """Layer factory for the HPNews LSTM classifier."""
-
-    def factory():
-        return [
-            Embedding(vocab_size, _scaled(embed_dim, width)),
-            LSTM(_scaled(hidden, width)),
-            Dense(n_classes),
-        ]
-
-    return factory
+    return _LstmLayers(
+        int(vocab_size), int(n_classes), int(embed_dim), int(hidden), float(width)
+    )
 
 
 def build_model(

@@ -14,6 +14,12 @@ Every layer implements the same tiny contract:
 Convolutions use im2col/col2im so the heavy lifting is one GEMM per layer —
 the standard trick for acceptable pure-numpy speed.  All layers are
 gradient-checked against central finite differences in the test suite.
+
+The super-linear kernels (GEMM, im2col/col2im) are fetched at call time
+from the active :mod:`~repro.fl.nn.backends` entry, so a registered
+``NN_BACKENDS`` backend swaps the compute engine under every layer at
+once; the default ``numpy`` backend is bitwise-identical to the
+historically inlined operations.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+# _im2col/_col2im stay importable from here (their historical home); the
+# implementations now live beside the other reference kernels in backends.
+from .backends import get_backend
+from .backends import numpy_col2im as _col2im  # noqa: F401 - re-export
+from .backends import numpy_im2col as _im2col  # noqa: F401 - re-export
 from .initializers import glorot_uniform, he_normal, zeros
 
 __all__ = [
@@ -49,6 +60,16 @@ class Layer(ABC):
         """Allocate parameters for ``input_shape`` (sans batch); return output shape."""
         self.built = True
         return self.output_shape(input_shape)
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Rebind any build-time generator (dropout masks) to ``rng``.
+
+        The within-round training pool reseeds each scratch replica with
+        the winner's derived stream before local training, so stochastic
+        layers draw from the per-client stream rather than whichever
+        generator the replica was built with.  Deterministic layers (the
+        default) have nothing to rebind.
+        """
 
     @abstractmethod
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
@@ -97,13 +118,14 @@ class Dense(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._x = x
         w, b = self.params
-        return x @ w + b
+        return get_backend().matmul(x, w) + b
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         w, _ = self.params
-        self.grads[0][...] = self._x.T @ grad
+        backend = get_backend()
+        self.grads[0][...] = backend.matmul(self._x.T, grad)
         self.grads[1][...] = grad.sum(axis=0)
-        return grad @ w.T
+        return backend.matmul(grad, w.T)
 
 
 class ReLU(Layer):
@@ -184,6 +206,9 @@ class Dropout(Layer):
         self._rng = rng
         return super().build(input_shape, rng)
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
@@ -198,41 +223,6 @@ class Dropout(Layer):
         if self._mask is None:
             return grad
         return grad * self._mask
-
-
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
-    """Lower (N, H, W, C) into (N*OH*OW, KH*KW*C) patches."""
-    n, h, w, c = x.shape
-    if pad:
-        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
-    oh = (h + 2 * pad - kh) // stride + 1
-    ow = (w + 2 * pad - kw) // stride + 1
-    shape = (n, oh, ow, kh, kw, c)
-    strides = (
-        x.strides[0],
-        x.strides[1] * stride,
-        x.strides[2] * stride,
-        x.strides[1],
-        x.strides[2],
-        x.strides[3],
-    )
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    return patches.reshape(n * oh * ow, kh * kw * c), (oh, ow)
-
-
-def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int, oh: int, ow: int):
-    """Scatter-add patch gradients back into the (padded) input."""
-    n, h, w, c = x_shape
-    padded = np.zeros((n, h + 2 * pad, w + 2 * pad, c), dtype=cols.dtype)
-    cols = cols.reshape(n, oh, ow, kh, kw, c)
-    for i in range(kh):
-        for j in range(kw):
-            padded[:, i : i + stride * oh : stride, j : j + stride * ow : stride, :] += cols[
-                :, :, :, i, j, :
-            ]
-    if pad:
-        return padded[:, pad:-pad, pad:-pad, :]
-    return padded
 
 
 class Conv2D(Layer):
@@ -276,12 +266,13 @@ class Conv2D(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         k, s, p = self.kernel_size, self.stride, self._pad()
-        cols, (oh, ow) = _im2col(x, k, k, s, p)
+        backend = get_backend()
+        cols, (oh, ow) = backend.im2col(x, k, k, s, p)
         self._cols = cols
         self._x_shape = x.shape
         self._out_hw = (oh, ow)
         kernel, bias = self.params
-        out = cols @ kernel + bias
+        out = backend.matmul(cols, kernel) + bias
         return out.reshape(x.shape[0], oh, ow, self.filters)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -289,10 +280,11 @@ class Conv2D(Layer):
         oh, ow = self._out_hw
         g = grad.reshape(-1, self.filters)
         kernel, _ = self.params
-        self.grads[0][...] = self._cols.T @ g
+        backend = get_backend()
+        self.grads[0][...] = backend.matmul(self._cols.T, g)
         self.grads[1][...] = g.sum(axis=0)
-        dcols = g @ kernel.T
-        return _col2im(dcols, self._x_shape, k, k, s, p, oh, ow)
+        dcols = backend.matmul(g, kernel.T)
+        return backend.col2im(dcols, self._x_shape, k, k, s, p, oh, ow)
 
 
 class MaxPool2D(Layer):

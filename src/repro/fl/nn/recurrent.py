@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backends import get_backend
 from .initializers import glorot_uniform, orthogonal, zeros
 from .layers import Layer
 
@@ -92,15 +93,13 @@ class LSTM(Layer):
         hs = np.zeros((t + 1, n, h))
         cs = np.zeros((t + 1, n, h))
         cache = []
+        backend = get_backend()
         for step in range(t):
-            z = x[:, step, :] @ wx + hs[step] @ wh + b
-            i = self._sigmoid(z[:, 0 * h : 1 * h])
-            f = self._sigmoid(z[:, 1 * h : 2 * h])
-            g = np.tanh(z[:, 2 * h : 3 * h])
-            o = self._sigmoid(z[:, 3 * h : 4 * h])
-            cs[step + 1] = f * cs[step] + i * g
-            tanh_c = np.tanh(cs[step + 1])
-            hs[step + 1] = o * tanh_c
+            h_next, c_next, i, f, g, o, tanh_c = backend.lstm_step(
+                x[:, step, :], hs[step], cs[step], wx, wh, b
+            )
+            cs[step + 1] = c_next
+            hs[step + 1] = h_next
             cache.append((i, f, g, o, tanh_c))
         self._x = x
         self._hs = hs
@@ -119,6 +118,7 @@ class LSTM(Layer):
         dx = np.zeros_like(x)
         dh_next = grad.copy()
         dc_next = np.zeros((n, h))
+        backend = get_backend()
         for step in range(t - 1, -1, -1):
             i, f, g, o, tanh_c = cache[step]
             dc = dc_next + dh_next * o * (1.0 - tanh_c * tanh_c)
@@ -135,10 +135,10 @@ class LSTM(Layer):
                 ],
                 axis=1,
             )
-            dwx += x[:, step, :].T @ dz
-            dwh += hs[step].T @ dz
+            dwx += backend.matmul(x[:, step, :].T, dz)
+            dwh += backend.matmul(hs[step].T, dz)
             db += dz.sum(axis=0)
-            dx[:, step, :] = dz @ wx.T
-            dh_next = dz @ wh.T
+            dx[:, step, :] = backend.matmul(dz, wx.T)
+            dh_next = backend.matmul(dz, wh.T)
             dc_next = dc * f
         return dx

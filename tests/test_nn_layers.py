@@ -2,6 +2,9 @@
 
 Every layer's backward pass is validated against central finite differences
 of its forward pass — both for input gradients and parameter gradients.
+The checks on backend-routed layers (Dense, Conv2D) take the ``nn_backend``
+fixture, which re-runs them under every registered ``NN_BACKENDS`` entry
+(skipping backends whose optional dependency is absent).
 """
 
 import numpy as np
@@ -72,10 +75,10 @@ class TestDense:
         layer.build((4,), rng)
         assert layer.forward(rng.standard_normal((3, 4))).shape == (3, 7)
 
-    def test_input_gradient(self, rng):
+    def test_input_gradient(self, rng, nn_backend):
         assert input_gradient_error(Dense(5), rng.standard_normal((4, 6)), rng) < 1e-6
 
-    def test_param_gradient(self, rng):
+    def test_param_gradient(self, rng, nn_backend):
         assert param_gradient_error(Dense(5), rng.standard_normal((4, 6)), rng) < 1e-6
 
     def test_rejects_multidim_input(self, rng):
@@ -169,13 +172,13 @@ class TestConv2D:
                     naive[0, i, j, f] = np.sum(patch * k[:, :, :, f]) + bias[f]
         np.testing.assert_allclose(out, naive, atol=1e-12)
 
-    def test_input_gradient(self, rng):
+    def test_input_gradient(self, rng, nn_backend):
         assert input_gradient_error(Conv2D(3, 3), rng.standard_normal((2, 6, 6, 2)), rng) < 1e-6
 
-    def test_param_gradient(self, rng):
+    def test_param_gradient(self, rng, nn_backend):
         assert param_gradient_error(Conv2D(3, 3), rng.standard_normal((2, 6, 6, 2)), rng) < 1e-6
 
-    def test_stride_two(self, rng):
+    def test_stride_two(self, rng, nn_backend):
         layer = Conv2D(2, kernel_size=3, stride=2)
         assert layer.output_shape((7, 7, 1)) == (3, 3, 2)
         assert input_gradient_error(layer, rng.standard_normal((2, 7, 7, 1)), rng) < 1e-6
